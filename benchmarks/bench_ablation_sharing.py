@@ -1,0 +1,49 @@
+"""Ablation: memory-sharing strategy (DESIGN.md design choice 2).
+
+none (31 BRAM) vs pairwise matching (the paper's tool, 18) vs optimal
+clique cover (12, beyond the paper) — and the parallel kernels each
+affords on the ZCU106.
+"""
+
+from benchmarks.conftest import emit
+from repro.apps.helmholtz import HELMHOLTZ_DSL
+from repro.flow import FlowOptions, compile_flow
+from repro.mnemosyne import SharingMode
+from repro.utils import ascii_table
+
+NE = 50_000
+
+
+def build_rows():
+    rows = []
+    for mode in (SharingMode.NONE, SharingMode.MATCHING, SharingMode.CLIQUE):
+        res = compile_flow(HELMHOLTZ_DSL, FlowOptions(sharing=mode))
+        d = res.build_system()
+        sim = res.simulate(NE)
+        rows.append(
+            (
+                mode.value,
+                res.memory.brams,
+                res.memory.n_units,
+                d.k,
+                f"{sim.total_seconds:.3f}s",
+            )
+        )
+    return rows
+
+
+def test_sharing_ablation(benchmark, out_dir):
+    rows = benchmark(build_rows)
+    text = ascii_table(
+        ["sharing", "BRAM/kernel", "PLM units", "max k", "50k elems at max k"],
+        rows,
+        title="Ablation: sharing strategy -> BRAMs -> parallel kernels (ZCU106)",
+    )
+    emit(out_dir, "ablation_sharing.txt", text)
+    by_mode = {r[0]: r for r in rows}
+    assert by_mode["none"][1] == 31 and by_mode["none"][3] == 8
+    assert by_mode["matching"][1] == 18 and by_mode["matching"][3] == 16
+    # optimal clique cover: fewer BRAMs; max k still 16 (logic becomes the
+    # binding constraint before 32 kernels fit)
+    assert by_mode["clique"][1] < by_mode["matching"][1]
+    assert by_mode["clique"][3] >= 16

@@ -1,0 +1,99 @@
+"""Extension benches: the paper's future work (Sec. VIII).
+
+1. Better data transfer strategies — double-buffered overlap using the
+   PLMs' system-side port (requires m >= 2k).  The paper's k<m experiments
+   "did not show much improvements due to limitations in the current
+   implementations of the data transfers"; the overlap strategy is what
+   that batching should have bought.
+2. Scaling up to clusters of larger FPGA boards.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.sim.simulator import simulate_system
+from repro.system.cluster import NetworkModel, scaling_series
+from repro.utils import ascii_table
+
+NE = 50_000
+
+
+def build_overlap_rows(flow):
+    rows = []
+    base = simulate_system(flow.build_system(1, 1), NE)
+    for k, m in [(4, 4), (4, 8), (8, 8), (8, 16)]:
+        d = flow.build_system(k, m)
+        serial = simulate_system(d, NE)
+        overlap = simulate_system(d, NE, overlap_transfers=True)
+        rows.append(
+            (
+                k,
+                m,
+                f"{serial.speedup_vs(base):.2f}",
+                f"{overlap.speedup_vs(base):.2f}",
+                f"{serial.accelerator_speedup_vs(base):.2f}",
+            )
+        )
+    return rows
+
+
+def test_overlap_transfer_strategy(benchmark, flow_sharing, out_dir):
+    rows = benchmark(build_overlap_rows, flow_sharing)
+    text = ascii_table(
+        ["k", "m", "serial total", "overlapped total", "accelerator (bound)"],
+        rows,
+        title="Future work 1: double-buffered transfers (speedup vs k=m=1)",
+    )
+    emit(out_dir, "ext_overlap.txt", text)
+    by = {(int(r[0]), int(r[1])): r for r in rows}
+    # with m = k there is no idle PLM set: no change
+    assert by[(8, 8)][2] == by[(8, 8)][3]
+    # with m = 2k the transfers hide behind compute: total ~ accelerator bound
+    assert float(by[(8, 16)][3]) > float(by[(8, 16)][2])
+    assert float(by[(8, 16)][3]) == pytest.approx(float(by[(8, 16)][4]), rel=0.03)
+
+
+def build_cluster_rows(flow):
+    design = flow.build_system(16, 16)
+    series = scaling_series(design, NE, [1, 2, 4, 8], NetworkModel())
+    return [(r.n_boards, f"{r.total_seconds:.3f}s",
+             f"{series[0].total_seconds / r.total_seconds:.2f}",
+             f"{r.network_seconds * 1e3:.1f}ms") for r in series]
+
+
+def test_cluster_scaling(benchmark, flow_sharing, out_dir):
+    rows = benchmark(build_cluster_rows, flow_sharing)
+    text = ascii_table(
+        ["boards", "wall clock", "speedup", "network"],
+        rows,
+        title="Future work 2: ZCU106 cluster scaling (k=16 per board, 50k elements)",
+    )
+    emit(out_dir, "ext_cluster.txt", text)
+    speedups = [float(r[2]) for r in rows]
+    # monotone scaling with diminishing returns (network share grows)
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 4.0          # 8 boards give > 4x
+    assert speedups[-1] < 8.0          # but sub-linear (network bound)
+
+
+def test_larger_board(benchmark, flow_sharing, out_dir):
+    """An Alveo U280 hosts far more replicas of the same kernel."""
+    from repro.system.board import ALVEO_U280
+    from repro.system.replicate import max_parallel_config
+
+    choice = benchmark(
+        max_parallel_config,
+        flow_sharing.hls.resources,
+        flow_sharing.memory,
+        ALVEO_U280,
+    )
+    text = ascii_table(
+        ["board", "max k", "BRAM used", "LUT used"],
+        [
+            ("ZCU106", 16, 16 * flow_sharing.memory.brams, "see Table I"),
+            (ALVEO_U280.name, choice.k, choice.bram, choice.lut),
+        ],
+        title="Future work 2b: scaling to a larger board",
+    )
+    emit(out_dir, "ext_board.txt", text)
+    assert choice.k >= 64

@@ -1,0 +1,62 @@
+"""Fig. 10: speedup compared to software execution on the ARM A53.
+
+Paper: SW Ref 1.00, SW HLS code 0.90, HW k=1 0.69, HW k=8 4.86,
+HW k=16 8.62.  The A53 runs at 1.2 GHz, "6x faster than the kernels
+running on FPGA" (200 MHz).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.sim import simulate_software
+from repro.utils import ascii_barchart, ascii_table
+
+NE = 50_000
+PAPER = {
+    "SW Ref": 1.00,
+    "SW HLS code": 0.90,
+    "HW k=1": 0.69,
+    "HW k=8": 4.86,
+    "HW k=16": 8.62,
+}
+
+
+def build_series(flow):
+    sw_ref = simulate_software(flow.function, NE, variant="ref")
+    out = {
+        "SW Ref": 1.0,
+        "SW HLS code": sw_ref / simulate_software(flow.function, NE, variant="hls_c"),
+    }
+    for k in (1, 8, 16):
+        out[f"HW k={k}"] = sw_ref / flow.simulate(NE, k, k).total_seconds
+    return out, sw_ref
+
+
+def test_fig10_vs_arm(benchmark, flow_sharing, out_dir):
+    series, sw_ref = benchmark(build_series, flow_sharing)
+    rows = [
+        (name, f"{series[name]:.2f}", f"{PAPER[name]:.2f}")
+        for name in PAPER
+    ]
+    text = ascii_table(
+        ["configuration", "speedup", "paper"],
+        rows,
+        title=f"Fig. 10: speedup vs ARM A53 software (SW Ref = {sw_ref:.2f}s for 50k elements)",
+    )
+    text += "\n\n" + ascii_barchart(
+        list(PAPER), [series[n] for n in PAPER], title="speedup vs SW Ref", unit="x"
+    )
+    emit(out_dir, "fig10_vs_arm.txt", text)
+
+    for name, expected in PAPER.items():
+        assert series[name] == pytest.approx(expected, rel=0.03), name
+    # qualitative shape: single kernel loses to the CPU, 8+ kernels win big
+    assert series["HW k=1"] < 1.0 < series["HW k=8"] < series["HW k=16"]
+    assert series["SW HLS code"] < 1.0
+
+
+def test_fig10_clock_ratio(flow_sharing):
+    """The CPU is 6x faster-clocked than the fabric."""
+    from repro.system.board import ZCU106
+
+    assert ZCU106.cpu_mhz / flow_sharing.hls.clock_mhz == pytest.approx(6.0)

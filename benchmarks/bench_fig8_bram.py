@@ -1,0 +1,60 @@
+"""Fig. 8: BRAM utilization of parallel accelerators w/ and w/o sharing.
+
+Paper series: no sharing 31, 62, 124, 248 (496 theoretical, over the
+312-BRAM budget); sharing 18, 36, 72, 144, 288.
+"""
+
+from benchmarks.conftest import emit
+from repro.system import ZCU106
+from repro.utils import ascii_barchart, ascii_table
+
+PAPER_NO_SHARING = {1: 31, 2: 62, 4: 124, 8: 248, 16: 496}
+PAPER_SHARING = {1: 18, 2: 36, 4: 72, 8: 144, 16: 288}
+
+
+def build_series(flow_sharing, flow_no_sharing):
+    series = {}
+    for label, flow in (("no sharing", flow_no_sharing), ("sharing", flow_sharing)):
+        per_kernel = flow.memory.brams
+        series[label] = {m: per_kernel * m for m in (1, 2, 4, 8, 16)}
+    return series
+
+
+def test_fig8_bram_utilization(benchmark, flow_sharing, flow_no_sharing, out_dir):
+    series = benchmark(build_series, flow_sharing, flow_no_sharing)
+    rows = []
+    for m in (1, 2, 4, 8, 16):
+        rows.append(
+            (
+                m,
+                series["no sharing"][m],
+                PAPER_NO_SHARING[m],
+                series["sharing"][m],
+                PAPER_SHARING[m],
+                "fits" if series["sharing"][m] <= ZCU106.bram36 else "over budget",
+            )
+        )
+    text = ascii_table(
+        ["m", "no-sharing", "paper", "sharing", "paper", "sharing fits 312?"],
+        rows,
+        title="Fig. 8: BRAM36 utilization (measured vs paper; max = 312)",
+    )
+    text += "\n\n" + ascii_barchart(
+        [f"m={m} {lbl}" for m in (1, 4, 16) for lbl in ("no-share", "share")],
+        [series["no sharing"][m] if lbl == "no-share" else series["sharing"][m]
+         for m in (1, 4, 16) for lbl in ("no-share", "share")],
+        title="BRAM36 (bars)",
+    )
+    emit(out_dir, "fig8_bram.txt", text)
+
+    # exact reproduction of the paper's BRAM accounting
+    assert series["no sharing"] == PAPER_NO_SHARING
+    assert series["sharing"] == PAPER_SHARING
+    # the crossover: 16 kernels fit only with sharing
+    assert series["sharing"][16] <= ZCU106.bram36 < series["no sharing"][16]
+    assert series["no sharing"][8] <= ZCU106.bram36
+
+
+def test_fig8_sharing_halves_brams(flow_sharing, flow_no_sharing):
+    ratio = flow_sharing.memory.brams / flow_no_sharing.memory.brams
+    assert 0.5 <= ratio <= 0.65  # 18/31 = 0.58

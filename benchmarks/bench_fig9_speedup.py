@@ -1,0 +1,68 @@
+"""Fig. 9: accelerator and total speedup for parallel architectures.
+
+50,000-element CFD simulation; speedups relative to m = k = 1.
+Paper series: accelerator 1.00, 2.00, 3.97, 7.91, 15.76;
+total 1.00, 1.96, 3.78, 7.09, 12.58.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.utils import ascii_barchart, ascii_table
+
+NE = 50_000
+PAPER_ACC = {1: 1.00, 2: 2.00, 4: 3.97, 8: 7.91, 16: 15.76}
+PAPER_TOTAL = {1: 1.00, 2: 1.96, 4: 3.78, 8: 7.09, 16: 12.58}
+
+
+def build_series(flow):
+    base = flow.simulate(NE, 1, 1)
+    out = {}
+    for k in (1, 2, 4, 8, 16):
+        s = flow.simulate(NE, k, k)
+        out[k] = (s.accelerator_speedup_vs(base), s.speedup_vs(base), s)
+    return out
+
+
+def test_fig9_speedups(benchmark, flow_sharing, out_dir):
+    series = benchmark(build_series, flow_sharing)
+    rows = [
+        (
+            k,
+            f"{series[k][0]:.2f}",
+            f"{PAPER_ACC[k]:.2f}",
+            f"{series[k][1]:.2f}",
+            f"{PAPER_TOTAL[k]:.2f}",
+            f"{series[k][2].total_seconds:.3f}s",
+        )
+        for k in (1, 2, 4, 8, 16)
+    ]
+    text = ascii_table(
+        ["m=k", "accel", "paper", "total", "paper", "wall clock (50k elems)"],
+        rows,
+        title="Fig. 9: speedup vs m=k=1 (measured vs paper)",
+    )
+    text += "\n\n" + ascii_barchart(
+        [f"k={k}" for k in (1, 2, 4, 8, 16)],
+        [series[k][1] for k in (1, 2, 4, 8, 16)],
+        title="total speedup",
+        unit="x",
+    )
+    emit(out_dir, "fig9_speedup.txt", text)
+
+    for k in (1, 2, 4, 8, 16):
+        assert series[k][0] == pytest.approx(PAPER_ACC[k], rel=0.02)
+        assert series[k][1] == pytest.approx(PAPER_TOTAL[k], rel=0.02)
+    # shape: accelerator speedup nearly ideal; total lower due to transfers
+    for k in (2, 4, 8, 16):
+        assert series[k][0] <= k
+        assert series[k][1] < series[k][0]
+
+
+def test_fig9_transfer_share_grows_with_k(flow_sharing):
+    """With more kernels, the serialized transfers dominate more."""
+    s1 = flow_sharing.simulate(NE, 1, 1)
+    s16 = flow_sharing.simulate(NE, 16, 16)
+    share1 = s1.transfer_cycles / s1.total_cycles
+    share16 = s16.transfer_cycles / s16.total_cycles
+    assert share16 > 4 * share1

@@ -1,0 +1,43 @@
+"""Extension bench: scaling with the polynomial degree (tensor extent).
+
+The paper fixes p = 11; this sweep shows how kernel latency, BRAM per
+kernel, and the feasible parallelism scale with the extent — the
+exploration the DSL flow "simplifies" (Sec. I).
+"""
+
+from benchmarks.conftest import emit
+from repro.apps.helmholtz import inverse_helmholtz_program
+from repro.errors import SystemGenerationError
+from repro.flow import compile_flow
+from repro.utils import ascii_table
+
+NE = 50_000
+
+
+def build_rows():
+    rows = []
+    for n in (5, 7, 9, 11, 13):
+        res = compile_flow(inverse_helmholtz_program(n))
+        try:
+            d = res.build_system()
+            k = d.k
+            t = f"{res.simulate(NE).total_seconds:.3f}s"
+        except SystemGenerationError:
+            k, t = 0, "-"
+        rows.append((n, res.hls.latency_cycles, res.memory.brams, k, t))
+    return rows
+
+
+def test_scaling_with_degree(benchmark, out_dir):
+    rows = benchmark(build_rows)
+    text = ascii_table(
+        ["extent n", "kernel cycles", "BRAM/kernel", "max k (ZCU106)", "50k elems"],
+        rows,
+        title="Scaling the Inverse Helmholtz with the tensor extent (sharing on)",
+    )
+    emit(out_dir, "scaling_p.txt", text)
+    by_n = {r[0]: r for r in rows}
+    # latency grows ~n^4; BRAM grows ~n^3; parallelism shrinks
+    assert by_n[13][1] > by_n[5][1] * (13 / 5) ** 3
+    assert by_n[5][3] >= by_n[11][3] >= by_n[13][3]
+    assert by_n[11][3] == 16  # the paper's configuration

@@ -1,0 +1,72 @@
+"""Table I: resource utilization for no-sharing and sharing architectures.
+
+Regenerates LUT/FF/DSP totals for m = k in {1, 2, 4, 8(, 16)} and compares
+against the paper's reported values.  DSP counts must match exactly
+(15 per kernel); LUT/FF within 5 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.utils import ascii_table
+
+PAPER = {
+    "no sharing": {
+        1: (11_318, 9_523, 15),
+        2: (15_929, 12_583, 30),
+        4: (25_728, 18_663, 60),
+        8: (42_679, 30_795, 120),
+    },
+    "sharing": {
+        1: (11_292, 9_533, 15),
+        2: (15_572, 12_596, 30),
+        4: (24_480, 18_663, 60),
+        8: (42_141, 30_782, 120),
+        16: (77_235, 55_053, 240),
+    },
+}
+
+
+def build_table(flow_sharing, flow_no_sharing):
+    rows = []
+    for label, flow in (("no sharing", flow_no_sharing), ("sharing", flow_sharing)):
+        for m, paper in PAPER[label].items():
+            r = flow.build_system(m, m).resources
+            rows.append(
+                (
+                    label,
+                    m,
+                    r.lut,
+                    paper[0],
+                    f"{100 * (r.lut - paper[0]) / paper[0]:+.1f}%",
+                    r.ff,
+                    paper[1],
+                    f"{100 * (r.ff - paper[1]) / paper[1]:+.1f}%",
+                    r.dsp,
+                    paper[2],
+                )
+            )
+    return rows
+
+
+def test_table1_resources(benchmark, flow_sharing, flow_no_sharing, out_dir):
+    rows = benchmark(build_table, flow_sharing, flow_no_sharing)
+    text = ascii_table(
+        ["arch", "m=k", "LUT", "paper", "err", "FF", "paper", "err", "DSP", "paper"],
+        rows,
+        title="Table I: resource utilization (measured vs paper)",
+    )
+    emit(out_dir, "table1_resources.txt", text)
+    for row in rows:
+        _, m, lut, plut, _, ff, pff, _, dsp, pdsp = row
+        assert dsp == pdsp
+        assert abs(lut - plut) / plut < 0.05
+        assert abs(ff - pff) / pff < 0.05
+
+
+def test_table1_m16_needs_sharing(flow_no_sharing, out_dir):
+    """m = k = 16 'is possible only with memory sharing'."""
+    from repro.errors import SystemGenerationError
+
+    with pytest.raises(SystemGenerationError):
+        flow_no_sharing.build_system(16, 16)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures: it computes the
+rows with the reproduction flow, prints a text rendering next to the
+paper's published values, asserts the qualitative shape (who wins, by
+roughly what factor, where crossovers fall), and times the computation
+with pytest-benchmark.  Rendered outputs are also written to
+``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.apps.helmholtz import HELMHOLTZ_DSL
+from repro.flow import FlowOptions, compile_flow
+from repro.mnemosyne import SharingMode
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def flow_sharing():
+    return compile_flow(HELMHOLTZ_DSL, FlowOptions(sharing=SharingMode.MATCHING))
+
+
+@pytest.fixture(scope="session")
+def flow_no_sharing():
+    return compile_flow(HELMHOLTZ_DSL, FlowOptions(sharing=SharingMode.NONE))
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it for EXPERIMENTS.md."""
+    print("\n" + text)
+    (out_dir / name).write_text(text + "\n")

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs on environments without `wheel`.
+
+`pip install -e .` uses PEP 660 by default, which requires the `wheel`
+package; offline environments that lack it can fall back to
+`pip install -e . --no-use-pep517 --no-build-isolation`, which needs this
+file.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""CFDlang frontend: lexer, parser, AST, semantic analysis, builder.
+
+CFDlang (Rink et al., RWDSL 2018) is a target-agnostic tensor DSL close to
+the mathematical problem specification used in CFD codes.  The grammar
+implemented here covers the language as used in the paper (Fig. 1) plus
+``type`` aliases and the full operator set of Sec. II-B:
+
+    program   := (typedecl | vardecl | stmt)*
+    typedecl  := 'type' ID ':' shape
+    vardecl   := 'var' ('input'|'output')? ID ':' (shape | ID)
+    shape     := '[' INT+ ']'
+    stmt      := ID '=' expr
+    expr      := add
+    add       := mul (('+'|'-') mul)*
+    mul       := contr (('*'|'/') contr)*
+    contr     := outer ('.' pairs)?
+    outer     := primary ('#' primary)*
+    primary   := ID | '(' expr ')'
+    pairs     := '[' ('[' INT INT ']')+ ']'
+
+``#`` is the outer (tensor) product, ``*`` the entry-wise (Hadamard)
+product, ``.`` the contraction over the listed dimension pairs of the
+product tensor (dimensions numbered from 0).
+"""
+
+from repro.cfdlang.ast import (
+    Add,
+    Assign,
+    Contract,
+    Div,
+    Hadamard,
+    Ident,
+    Outer,
+    Program,
+    Sub,
+    TypeDecl,
+    VarDecl,
+    VarKind,
+)
+from repro.cfdlang.lexer import Lexer, Token, TokenKind
+from repro.cfdlang.parser import parse_program
+from repro.cfdlang.sema import analyze
+from repro.cfdlang.printer import print_program
+from repro.cfdlang.builder import ProgramBuilder
+
+__all__ = [
+    "Add",
+    "Assign",
+    "Contract",
+    "Div",
+    "Hadamard",
+    "Ident",
+    "Outer",
+    "Program",
+    "Sub",
+    "TypeDecl",
+    "VarDecl",
+    "VarKind",
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "parse_program",
+    "analyze",
+    "print_program",
+    "ProgramBuilder",
+]

@@ -1,0 +1,182 @@
+"""Abstract syntax tree for CFDlang programs.
+
+Nodes carry an optional ``shape`` attribute filled in by semantic analysis
+(:mod:`repro.cfdlang.sema`); the parser leaves it ``None``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+class VarKind(enum.Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+    LOCAL = "local"
+
+
+@dataclass
+class Node:
+    """Base class; ``line`` is the 1-based source line (or -1 for built)."""
+
+    line: int = field(default=-1, kw_only=True)
+
+
+@dataclass
+class Expr(Node):
+    shape: Optional[Tuple[int, ...]] = field(default=None, kw_only=True)
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Outer(Expr):
+    """n-ary outer (tensor) product ``a # b # c``."""
+
+    factors: List[Expr] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return " # ".join(_paren(f, self) for f in self.factors)
+
+
+@dataclass
+class Contract(Expr):
+    """Contraction ``operand . [[a b] ...]`` over dimension pairs."""
+
+    operand: Expr = None  # type: ignore[assignment]
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        body = " ".join(f"[{a} {b}]" for a, b in self.pairs)
+        return f"{_paren(self.operand, self)} . [{body}]"
+
+
+@dataclass
+class _BinOp(Expr):
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+    op: str = "?"
+
+    def __str__(self) -> str:
+        return f"{_paren(self.lhs, self)} {self.op} {_paren(self.rhs, self)}"
+
+
+@dataclass
+class Hadamard(_BinOp):
+    """Entry-wise product ``a * b``."""
+
+    op: str = "*"
+
+
+@dataclass
+class Div(_BinOp):
+    """Entry-wise division ``a / b``."""
+
+    op: str = "/"
+
+
+@dataclass
+class Add(_BinOp):
+    op: str = "+"
+
+
+@dataclass
+class Sub(_BinOp):
+    op: str = "-"
+
+
+_PRECEDENCE = {Ident: 5, Contract: 3, Outer: 4, Hadamard: 2, Div: 2, Add: 1, Sub: 1}
+
+
+def _prec(e: Expr) -> int:
+    return _PRECEDENCE.get(type(e), 5)
+
+
+def _paren(child: Expr, parent: Expr) -> str:
+    s = str(child)
+    if _prec(child) < _prec(parent):
+        return f"({s})"
+    return s
+
+
+@dataclass
+class TypeDecl(Node):
+    name: str = ""
+    shape: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        return f"type {self.name} : [{' '.join(str(d) for d in self.shape)}]"
+
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    kind: VarKind = VarKind.LOCAL
+    shape: Tuple[int, ...] = ()
+    type_name: Optional[str] = None  # when declared via a type alias
+
+    def __str__(self) -> str:
+        kind = "" if self.kind is VarKind.LOCAL else f" {self.kind.value}"
+        ty = self.type_name or f"[{' '.join(str(d) for d in self.shape)}]"
+        return f"var{kind} {self.name} : {ty}"
+
+
+@dataclass
+class Assign(Node):
+    target: str = ""
+    value: Expr = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value}"
+
+
+@dataclass
+class Program(Node):
+    typedecls: List[TypeDecl] = field(default_factory=list)
+    decls: List[VarDecl] = field(default_factory=list)
+    stmts: List[Assign] = field(default_factory=list)
+
+    def decl(self, name: str) -> VarDecl:
+        for d in self.decls:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+    def inputs(self) -> List[VarDecl]:
+        return [d for d in self.decls if d.kind is VarKind.INPUT]
+
+    def outputs(self) -> List[VarDecl]:
+        return [d for d in self.decls if d.kind is VarKind.OUTPUT]
+
+    def locals(self) -> List[VarDecl]:
+        return [d for d in self.decls if d.kind is VarKind.LOCAL]
+
+
+def walk(expr: Expr):
+    """Yield all nodes of an expression tree, pre-order."""
+    yield expr
+    if isinstance(expr, Outer):
+        for f in expr.factors:
+            yield from walk(f)
+    elif isinstance(expr, Contract):
+        yield from walk(expr.operand)
+    elif isinstance(expr, _BinOp):
+        yield from walk(expr.lhs)
+        yield from walk(expr.rhs)
+
+
+def idents_used(expr: Expr) -> List[str]:
+    """Names referenced by an expression, in first-use order."""
+    out: List[str] = []
+    for n in walk(expr):
+        if isinstance(n, Ident) and n.name not in out:
+            out.append(n.name)
+    return out

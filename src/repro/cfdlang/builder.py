@@ -1,0 +1,105 @@
+"""Programmatic construction of CFDlang programs.
+
+Application code (``repro.apps``) builds operators like the Inverse
+Helmholtz parametrically in ``p`` instead of string-formatting DSL source:
+
+    b = ProgramBuilder()
+    S = b.input("S", (p + 1, p + 1))
+    u = b.input("u", (p + 1,) * 3)
+    v = b.output("v", (p + 1,) * 3)
+    t = b.local("t", (p + 1,) * 3)
+    b.assign(t, b.contract(b.outer(S, S, S, u), [(1, 6), (3, 7), (5, 8)]))
+    ...
+    prog = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cfdlang.ast import (
+    Add,
+    Assign,
+    Contract,
+    Div,
+    Expr,
+    Hadamard,
+    Ident,
+    Outer,
+    Program,
+    Sub,
+    VarDecl,
+    VarKind,
+)
+from repro.cfdlang.sema import analyze
+from repro.errors import CFDlangSemanticError
+
+
+class ProgramBuilder:
+    """Accumulates declarations and statements, then validates via sema."""
+
+    def __init__(self) -> None:
+        self._decls: List[VarDecl] = []
+        self._stmts: List[Assign] = []
+        self._names: set = set()
+
+    # -- declarations ------------------------------------------------------
+    def _declare(self, name: str, shape: Sequence[int], kind: VarKind) -> Ident:
+        if name in self._names:
+            raise CFDlangSemanticError(f"duplicate declaration of {name!r}")
+        self._names.add(name)
+        self._decls.append(VarDecl(name=name, kind=kind, shape=tuple(int(s) for s in shape)))
+        return Ident(name=name)
+
+    def input(self, name: str, shape: Sequence[int]) -> Ident:
+        return self._declare(name, shape, VarKind.INPUT)
+
+    def output(self, name: str, shape: Sequence[int]) -> Ident:
+        return self._declare(name, shape, VarKind.OUTPUT)
+
+    def local(self, name: str, shape: Sequence[int]) -> Ident:
+        return self._declare(name, shape, VarKind.LOCAL)
+
+    # -- expressions ---------------------------------------------------------
+    @staticmethod
+    def outer(*factors: Expr) -> Expr:
+        if len(factors) < 2:
+            raise CFDlangSemanticError("outer product needs at least two factors")
+        flat: List[Expr] = []
+        for f in factors:
+            if isinstance(f, Outer):
+                flat.extend(f.factors)
+            else:
+                flat.append(f)
+        return Outer(factors=flat)
+
+    @staticmethod
+    def contract(operand: Expr, pairs: Sequence[Tuple[int, int]]) -> Expr:
+        return Contract(operand=operand, pairs=[(int(a), int(b)) for a, b in pairs])
+
+    @staticmethod
+    def hadamard(lhs: Expr, rhs: Expr) -> Expr:
+        return Hadamard(lhs=lhs, rhs=rhs)
+
+    @staticmethod
+    def div(lhs: Expr, rhs: Expr) -> Expr:
+        return Div(lhs=lhs, rhs=rhs)
+
+    @staticmethod
+    def add(lhs: Expr, rhs: Expr) -> Expr:
+        return Add(lhs=lhs, rhs=rhs)
+
+    @staticmethod
+    def sub(lhs: Expr, rhs: Expr) -> Expr:
+        return Sub(lhs=lhs, rhs=rhs)
+
+    # -- statements -----------------------------------------------------------
+    def assign(self, target: Ident | str, value: Expr) -> None:
+        name = target.name if isinstance(target, Ident) else target
+        self._stmts.append(Assign(target=name, value=value))
+
+    # -- finalize ---------------------------------------------------------------
+    def build(self) -> Program:
+        """Assemble and semantically validate the program."""
+        prog = Program(decls=list(self._decls), stmts=list(self._stmts))
+        return analyze(prog)

@@ -1,0 +1,132 @@
+"""Tokenizer for CFDlang source."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import CFDlangSyntaxError
+
+
+class TokenKind(enum.Enum):
+    VAR = "var"
+    TYPE = "type"
+    INPUT = "input"
+    OUTPUT = "output"
+    IDENT = "ident"
+    INT = "int"
+    COLON = ":"
+    EQUALS = "="
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    HASH = "#"
+    STAR = "*"
+    SLASH = "/"
+    PLUS = "+"
+    MINUS = "-"
+    DOT = "."
+    EOF = "<eof>"
+
+
+_KEYWORDS = {
+    "var": TokenKind.VAR,
+    "type": TokenKind.TYPE,
+    "input": TokenKind.INPUT,
+    "output": TokenKind.OUTPUT,
+}
+
+_PUNCT = {
+    ":": TokenKind.COLON,
+    "=": TokenKind.EQUALS,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "#": TokenKind.HASH,
+    "*": TokenKind.STAR,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    ".": TokenKind.DOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def int_value(self) -> int:
+        if self.kind is not TokenKind.INT:
+            raise CFDlangSyntaxError(f"token {self.text!r} is not an integer", self.line, self.column)
+        return int(self.text)
+
+
+class Lexer:
+    """Converts CFDlang source text into a token stream.
+
+    Supports ``//`` line comments (``#`` is the outer-product operator, so
+    hash comments are not available in this language).
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> CFDlangSyntaxError:
+        return CFDlangSyntaxError(message, self.line, self.column)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def tokens(self) -> Iterator[Token]:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "/" and self.pos + 1 < len(src) and src[self.pos + 1] == "/":
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+                continue
+            line, col = self.line, self.column
+            if ch.isdigit():
+                start = self.pos
+                while self.pos < len(src) and src[self.pos].isdigit():
+                    self._advance()
+                yield Token(TokenKind.INT, src[start : self.pos], line, col)
+                continue
+            if ch.isalpha() or ch == "_":
+                start = self.pos
+                while self.pos < len(src) and (src[self.pos].isalnum() or src[self.pos] == "_"):
+                    self._advance()
+                text = src[start : self.pos]
+                yield Token(_KEYWORDS.get(text, TokenKind.IDENT), text, line, col)
+                continue
+            if ch == "/":
+                self._advance()
+                yield Token(TokenKind.SLASH, "/", line, col)
+                continue
+            if ch in _PUNCT:
+                self._advance()
+                yield Token(_PUNCT[ch], ch, line, col)
+                continue
+            raise self._error(f"unexpected character {ch!r}")
+        yield Token(TokenKind.EOF, "", self.line, self.column)
+
+    def tokenize(self) -> List[Token]:
+        return list(self.tokens())

@@ -1,0 +1,186 @@
+"""Recursive-descent parser for CFDlang (grammar in the package docstring)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cfdlang.ast import (
+    Add,
+    Assign,
+    Contract,
+    Div,
+    Expr,
+    Hadamard,
+    Ident,
+    Outer,
+    Program,
+    Sub,
+    TypeDecl,
+    VarDecl,
+    VarKind,
+)
+from repro.cfdlang.lexer import Lexer, Token, TokenKind
+from repro.errors import CFDlangSyntaxError
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: TokenKind) -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            raise CFDlangSyntaxError(
+                f"expected {kind.value!r}, found {tok.text or '<eof>'!r}",
+                tok.line,
+                tok.column,
+            )
+        return self.advance()
+
+    def accept(self, kind: TokenKind) -> bool:
+        if self.peek().kind is kind:
+            self.advance()
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------
+    def program(self) -> Program:
+        prog = Program(line=1)
+        while self.peek().kind is not TokenKind.EOF:
+            tok = self.peek()
+            if tok.kind is TokenKind.TYPE:
+                prog.typedecls.append(self.typedecl())
+            elif tok.kind is TokenKind.VAR:
+                prog.decls.append(self.vardecl())
+            elif tok.kind is TokenKind.IDENT:
+                prog.stmts.append(self.statement())
+            else:
+                raise CFDlangSyntaxError(
+                    f"expected declaration or statement, found {tok.text!r}",
+                    tok.line,
+                    tok.column,
+                )
+        return prog
+
+    def typedecl(self) -> TypeDecl:
+        start = self.expect(TokenKind.TYPE)
+        name = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.COLON)
+        shape = self.shape()
+        return TypeDecl(name=name, shape=shape, line=start.line)
+
+    def vardecl(self) -> VarDecl:
+        start = self.expect(TokenKind.VAR)
+        kind = VarKind.LOCAL
+        if self.accept(TokenKind.INPUT):
+            kind = VarKind.INPUT
+        elif self.accept(TokenKind.OUTPUT):
+            kind = VarKind.OUTPUT
+        name = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.COLON)
+        if self.peek().kind is TokenKind.IDENT:
+            alias = self.advance().text
+            return VarDecl(name=name, kind=kind, shape=(), type_name=alias, line=start.line)
+        shape = self.shape()
+        return VarDecl(name=name, kind=kind, shape=shape, line=start.line)
+
+    def shape(self) -> Tuple[int, ...]:
+        self.expect(TokenKind.LBRACKET)
+        dims: List[int] = []
+        while self.peek().kind is TokenKind.INT:
+            dims.append(self.advance().int_value)
+        tok = self.expect(TokenKind.RBRACKET)
+        if not dims:
+            raise CFDlangSyntaxError("empty shape", tok.line, tok.column)
+        return tuple(dims)
+
+    def statement(self) -> Assign:
+        target = self.expect(TokenKind.IDENT)
+        self.expect(TokenKind.EQUALS)
+        value = self.expr()
+        return Assign(target=target.text, value=value, line=target.line)
+
+    def expr(self) -> Expr:
+        return self.add()
+
+    def add(self) -> Expr:
+        lhs = self.mul()
+        while self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self.advance()
+            rhs = self.mul()
+            cls = Add if op.kind is TokenKind.PLUS else Sub
+            lhs = cls(lhs=lhs, rhs=rhs, line=op.line)
+        return lhs
+
+    def mul(self) -> Expr:
+        lhs = self.contraction()
+        while self.peek().kind in (TokenKind.STAR, TokenKind.SLASH):
+            op = self.advance()
+            rhs = self.contraction()
+            cls = Hadamard if op.kind is TokenKind.STAR else Div
+            lhs = cls(lhs=lhs, rhs=rhs, line=op.line)
+        return lhs
+
+    def contraction(self) -> Expr:
+        operand = self.outer()
+        while self.peek().kind is TokenKind.DOT:
+            dot = self.advance()
+            pairs = self.index_pairs()
+            operand = Contract(operand=operand, pairs=pairs, line=dot.line)
+        return operand
+
+    def outer(self) -> Expr:
+        first = self.primary()
+        if self.peek().kind is not TokenKind.HASH:
+            return first
+        factors = [first]
+        while self.accept(TokenKind.HASH):
+            factors.append(self.primary())
+        return Outer(factors=factors, line=factors[0].line)
+
+    def primary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            return Ident(name=tok.text, line=tok.line)
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.expr()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        raise CFDlangSyntaxError(
+            f"expected identifier or '(', found {tok.text or '<eof>'!r}",
+            tok.line,
+            tok.column,
+        )
+
+    def index_pairs(self) -> List[Tuple[int, int]]:
+        self.expect(TokenKind.LBRACKET)
+        pairs: List[Tuple[int, int]] = []
+        while self.peek().kind is TokenKind.LBRACKET:
+            self.advance()
+            a = self.expect(TokenKind.INT).int_value
+            b = self.expect(TokenKind.INT).int_value
+            self.expect(TokenKind.RBRACKET)
+            pairs.append((a, b))
+        tok = self.expect(TokenKind.RBRACKET)
+        if not pairs:
+            raise CFDlangSyntaxError("contraction needs at least one index pair", tok.line, tok.column)
+        return pairs
+
+
+def parse_program(source: str) -> Program:
+    """Parse CFDlang source text into an (untyped) AST."""
+    return _Parser(Lexer(source).tokenize()).program()

@@ -1,0 +1,17 @@
+"""Pretty-printer: AST back to CFDlang source (round-trip tested)."""
+
+from __future__ import annotations
+
+from repro.cfdlang.ast import Program
+
+
+def print_program(prog: Program) -> str:
+    """Render a program as canonical CFDlang source text."""
+    lines = []
+    for td in prog.typedecls:
+        lines.append(str(td))
+    for d in prog.decls:
+        lines.append(str(d))
+    for s in prog.stmts:
+        lines.append(str(s))
+    return "\n".join(lines) + "\n"

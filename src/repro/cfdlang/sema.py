@@ -1,0 +1,157 @@
+"""Semantic analysis: name resolution, shape inference, kind checking.
+
+On success every expression node's ``shape`` is filled in and the program
+satisfies:
+
+* every identifier is declared exactly once, type aliases resolve;
+* inputs are never assigned, outputs are assigned exactly once;
+* locals are assigned exactly once and before any use (the source program is
+  already in single-assignment form — Sec. IV-A's pseudo-SSA step then only
+  needs to name transient subexpressions);
+* all operator shape rules hold (outer concatenates, contraction removes
+  equal-extent disjoint pairs, entry-wise ops require identical shapes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cfdlang.ast import (
+    Add,
+    Assign,
+    Contract,
+    Div,
+    Expr,
+    Hadamard,
+    Ident,
+    Outer,
+    Program,
+    Sub,
+    VarKind,
+)
+from repro.errors import CFDlangSemanticError
+
+
+def _resolve_decl_shapes(prog: Program) -> None:
+    aliases: Dict[str, Tuple[int, ...]] = {}
+    for td in prog.typedecls:
+        if td.name in aliases:
+            raise CFDlangSemanticError(f"duplicate type {td.name!r} (line {td.line})")
+        if any(d <= 0 for d in td.shape):
+            raise CFDlangSemanticError(f"type {td.name!r} has non-positive extent")
+        aliases[td.name] = td.shape
+    for d in prog.decls:
+        if d.type_name is not None:
+            if d.type_name not in aliases:
+                raise CFDlangSemanticError(
+                    f"unknown type {d.type_name!r} for var {d.name!r} (line {d.line})"
+                )
+            d.shape = aliases[d.type_name]
+        if any(x <= 0 for x in d.shape):
+            raise CFDlangSemanticError(f"var {d.name!r} has non-positive extent")
+
+
+def infer_shape(expr: Expr, env: Dict[str, Tuple[int, ...]]) -> Tuple[int, ...]:
+    """Infer (and annotate) the shape of an expression."""
+    if isinstance(expr, Ident):
+        if expr.name not in env:
+            raise CFDlangSemanticError(f"use of undeclared tensor {expr.name!r} (line {expr.line})")
+        expr.shape = env[expr.name]
+        return expr.shape
+    if isinstance(expr, Outer):
+        shape: Tuple[int, ...] = ()
+        for f in expr.factors:
+            shape = shape + infer_shape(f, env)
+        expr.shape = shape
+        return shape
+    if isinstance(expr, Contract):
+        inner = infer_shape(expr.operand, env)
+        rank = len(inner)
+        used = set()
+        for a, b in expr.pairs:
+            if a == b:
+                raise CFDlangSemanticError(f"contraction pair [{a} {b}] is degenerate (line {expr.line})")
+            for idx in (a, b):
+                if not (0 <= idx < rank):
+                    raise CFDlangSemanticError(
+                        f"contraction index {idx} out of range for rank {rank} (line {expr.line})"
+                    )
+                if idx in used:
+                    raise CFDlangSemanticError(
+                        f"contraction index {idx} used twice (line {expr.line})"
+                    )
+                used.add(idx)
+            if inner[a] != inner[b]:
+                raise CFDlangSemanticError(
+                    f"contraction pair [{a} {b}] has mismatched extents "
+                    f"{inner[a]} vs {inner[b]} (line {expr.line})"
+                )
+        expr.shape = tuple(s for i, s in enumerate(inner) if i not in used)
+        return expr.shape
+    if isinstance(expr, (Hadamard, Div, Add, Sub)):
+        ls = infer_shape(expr.lhs, env)
+        rs = infer_shape(expr.rhs, env)
+        if ls != rs:
+            raise CFDlangSemanticError(
+                f"entry-wise '{expr.op}' requires equal shapes, got {ls} vs {rs} (line {expr.line})"
+            )
+        expr.shape = ls
+        return ls
+    raise CFDlangSemanticError(f"unknown expression node {type(expr).__name__}")
+
+
+def analyze(prog: Program) -> Program:
+    """Run semantic analysis in place; returns the program for chaining."""
+    _resolve_decl_shapes(prog)
+    env: Dict[str, Tuple[int, ...]] = {}
+    kinds: Dict[str, VarKind] = {}
+    for d in prog.decls:
+        if d.name in env:
+            raise CFDlangSemanticError(f"duplicate declaration of {d.name!r} (line {d.line})")
+        env[d.name] = d.shape
+        kinds[d.name] = d.kind
+
+    assigned: Dict[str, int] = {}
+    defined = {n for n, k in kinds.items() if k is VarKind.INPUT}
+    for stmt in prog.stmts:
+        if stmt.target not in env:
+            raise CFDlangSemanticError(
+                f"assignment to undeclared tensor {stmt.target!r} (line {stmt.line})"
+            )
+        if kinds[stmt.target] is VarKind.INPUT:
+            raise CFDlangSemanticError(
+                f"assignment to input {stmt.target!r} (line {stmt.line})"
+            )
+        if stmt.target in assigned:
+            raise CFDlangSemanticError(
+                f"tensor {stmt.target!r} assigned more than once "
+                f"(lines {assigned[stmt.target]} and {stmt.line})"
+            )
+        for used in _uses(stmt.value):
+            if used not in env:
+                raise CFDlangSemanticError(
+                    f"use of undeclared tensor {used!r} (line {stmt.line})"
+                )
+            if used not in defined:
+                raise CFDlangSemanticError(
+                    f"tensor {used!r} used before assignment (line {stmt.line})"
+                )
+        shape = infer_shape(stmt.value, env)
+        if shape != env[stmt.target]:
+            raise CFDlangSemanticError(
+                f"assignment to {stmt.target!r}: shape {shape} does not match "
+                f"declared {env[stmt.target]} (line {stmt.line})"
+            )
+        assigned[stmt.target] = stmt.line
+        defined.add(stmt.target)
+
+    for d in prog.decls:
+        if d.kind is VarKind.OUTPUT and d.name not in assigned:
+            raise CFDlangSemanticError(f"output {d.name!r} is never assigned")
+    return prog
+
+
+def _uses(expr: Expr):
+    from repro.cfdlang.ast import idents_used
+
+    return idents_used(expr)

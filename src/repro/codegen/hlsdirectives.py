@@ -1,0 +1,71 @@
+"""HLS directive (pragma) configuration and generation.
+
+State-of-the-art HLS optimizations the paper applies to the computational
+part (Sec. V-A1): loop pipelining, loop flattening, unrolling, and array
+partitioning.  These are independent of the memory interface because all
+arrays are exported as standard memory ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.codegen.cast import CPragma
+
+
+@dataclass(frozen=True)
+class HlsDirectives:
+    """Directive set for one kernel.
+
+    pipeline:
+        'flatten' — flatten each stage's nest and pipeline at II=1 (the
+        configuration used for the paper's 200 MHz kernels),
+        'inner'   — pipeline only the innermost loop,
+        'none'    — no pipelining (ablation).
+    unroll_factor:
+        unroll of the innermost loop (demands multi-port memories).
+    array_partition:
+        cyclic partition factor per array (1 = no partitioning).
+    """
+
+    pipeline: str = "flatten"
+    pipeline_ii: int = 1
+    unroll_factor: int = 1
+    array_partition: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pipeline not in ("flatten", "inner", "none"):
+            raise ValueError(f"unknown pipeline mode {self.pipeline!r}")
+        if self.pipeline_ii < 1 or self.unroll_factor < 1:
+            raise ValueError("II and unroll factor must be >= 1")
+
+    # -- pragma rendering ----------------------------------------------------
+    def interface_pragmas(self, arrays: List[str]) -> List[CPragma]:
+        """``ap_memory`` ports for every exported array + ap_ctrl control."""
+        out = [CPragma(f"HLS INTERFACE ap_memory port={a}") for a in arrays]
+        out.append(CPragma("HLS INTERFACE ap_ctrl_hs port=return"))
+        return out
+
+    def partition_pragmas(self, arrays: List[str]) -> List[CPragma]:
+        out = []
+        for a in arrays:
+            f = self.array_partition.get(a, 1)
+            if f > 1:
+                out.append(
+                    CPragma(f"HLS ARRAY_PARTITION variable={a} cyclic factor={f}")
+                )
+        return out
+
+    def innermost_pragmas(self) -> List[CPragma]:
+        out: List[CPragma] = []
+        if self.pipeline != "none":
+            out.append(CPragma(f"HLS PIPELINE II={self.pipeline_ii}"))
+        if self.unroll_factor > 1:
+            out.append(CPragma(f"HLS UNROLL factor={self.unroll_factor}"))
+        return out
+
+    def outer_pragmas(self) -> List[CPragma]:
+        if self.pipeline == "flatten":
+            return [CPragma("HLS LOOP_FLATTEN")]
+        return []

@@ -1,0 +1,13 @@
+"""The end-to-end CFDlang-to-bitstream flow (Fig. 3).
+
+:func:`compile_flow` runs: frontend -> tensor IR -> canonicalization ->
+reference schedule -> layout materialization -> rescheduling -> C99 code
+generation + Mnemosyne metadata -> HLS synthesis (model) -> memory
+subsystem generation -> and exposes system generation + simulation.
+"""
+
+from repro.flow.options import FlowOptions
+from repro.flow.pipeline import FlowResult, compile_flow
+from repro.flow.artifacts import write_artifacts
+
+__all__ = ["FlowOptions", "FlowResult", "compile_flow", "write_artifacts"]

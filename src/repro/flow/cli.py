@@ -1,0 +1,99 @@
+"""Command-line entry point: ``cfdlang-flow``.
+
+    cfdlang-flow examples/helmholtz.cfd -o build/ --ne 50000
+    cfdlang-flow --app helmholtz --no-sharing -k 8 -m 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.codegen.hlsdirectives import HlsDirectives
+from repro.flow.artifacts import write_artifacts
+from repro.flow.options import FlowOptions
+from repro.flow.pipeline import compile_flow
+from repro.mnemosyne.sharing import SharingMode
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cfdlang-flow",
+        description="CFDlang-to-FPGA flow (CLUSTER'21 reproduction)",
+    )
+    p.add_argument("source", nargs="?", help="CFDlang source file (.cfd)")
+    p.add_argument("--app", choices=["helmholtz", "interpolation", "gradient"],
+                   help="use a built-in operator instead of a source file")
+    p.add_argument("-n", "--degree", type=int, default=11,
+                   help="tensor extent for built-in operators (default 11)")
+    p.add_argument("-o", "--output", default="build",
+                   help="artifact output directory")
+    p.add_argument("-k", type=int, default=None, help="accelerator replicas")
+    p.add_argument("-m", type=int, default=None, help="PLM set replicas")
+    p.add_argument("--ne", type=int, default=50_000,
+                   help="number of CFD elements to simulate")
+    p.add_argument("--no-sharing", action="store_true",
+                   help="disable memory sharing")
+    p.add_argument("--clique-sharing", action="store_true",
+                   help="use clique-cover sharing (more aggressive)")
+    p.add_argument("--no-factorize", action="store_true",
+                   help="disable contraction factorization")
+    p.add_argument("--temporaries-internal", action="store_true",
+                   help="keep temporaries inside the HLS kernel")
+    p.add_argument("--pipeline", choices=["flatten", "inner", "none"],
+                   default="flatten")
+    p.add_argument("--simulate", action="store_true",
+                   help="print the performance simulation for the system")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.app:
+        from repro.apps import (
+            gradient_program,
+            interpolation_program,
+            inverse_helmholtz_program,
+        )
+
+        builders = {
+            "helmholtz": lambda: inverse_helmholtz_program(args.degree),
+            "interpolation": lambda: interpolation_program(args.degree),
+            "gradient": lambda: gradient_program(args.degree),
+        }
+        source = builders[args.app]()
+    elif args.source:
+        with open(args.source) as f:
+            source = f.read()
+    else:
+        print("error: provide a source file or --app", file=sys.stderr)
+        return 2
+
+    sharing = SharingMode.MATCHING
+    if args.no_sharing:
+        sharing = SharingMode.NONE
+    if args.clique_sharing:
+        sharing = SharingMode.CLIQUE
+    options = FlowOptions(
+        factorize=not args.no_factorize,
+        directives=HlsDirectives(pipeline=args.pipeline),
+        sharing=sharing,
+        temporaries_internal=args.temporaries_internal,
+    )
+    result = compile_flow(source, options)
+    paths = write_artifacts(result, args.output, k=args.k, m=args.m, n_elements=args.ne)
+    print(result.hls.summary())
+    print(result.memory.summary())
+    design = result.build_system(args.k, args.m)
+    print(design.summary())
+    if args.simulate:
+        sim = result.simulate(args.ne, args.k, args.m)
+        print(sim)
+    print(f"artifacts written to: {args.output}")
+    for name, path in sorted(paths.items()):
+        print(f"  {name}: {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Compiler/flow parameters (the "Parameters" input of Figs. 3 and 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.codegen.hlsdirectives import HlsDirectives
+from repro.mnemosyne.sharing import SharingMode
+from repro.system.board import Board, ZCU106
+from repro.system.platform_data import DEFAULT_PLATFORM, PlatformModel
+
+
+@dataclass(frozen=True)
+class FlowOptions:
+    """Everything the user can turn on the flow.
+
+    The defaults reproduce the paper's best configuration: contraction
+    factorization on, flattened II=1 pipelining, exported temporaries,
+    memory sharing via the compatibility graph.
+    """
+
+    kernel_name: str = "kernel_body"
+    factorize: bool = True
+    directives: HlsDirectives = field(default_factory=HlsDirectives)
+    sharing: SharingMode = SharingMode.MATCHING
+    temporaries_internal: bool = False
+    board: Board = ZCU106
+    platform: PlatformModel = DEFAULT_PLATFORM
+    clock_mhz: float = 200.0
+    #: override layouts: tensor name -> "row_major" | "column_major"
+    layout_overrides: Dict[str, str] = field(default_factory=dict)
+    #: explicit address-space sharing via partitioning maps (Sec. IV-D):
+    #: buffer name -> tensors merged into it.  Legality (lifetime
+    #: disjointness) is checked against the compatibility graph; Mnemosyne
+    #: receives the merged groups instead of running its optimizer.
+    partition_merges: Dict[str, tuple] = field(default_factory=dict)
+    #: None = derive from the pipeline mode ('outside' for flatten, else
+    #: 'innermost'); or force "innermost" | "outside" | "free"
+    reduction_placement: Optional[str] = None
+    fuse_init: bool = True
+
+    def effective_reduction_placement(self) -> str:
+        if self.reduction_placement is not None:
+            return self.reduction_placement
+        return "outside" if self.directives.pipeline == "flatten" else "innermost"

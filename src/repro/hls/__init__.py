@@ -1,0 +1,34 @@
+"""HLS model: a stand-in for Vivado HLS 2019.2 (kernel synthesis).
+
+The evaluation consumes HLS *reports* — initiation intervals, latency
+cycles, LUT/FF/DSP — not gates.  This package computes them analytically
+from the generated kernel's stage plans and directives:
+
+* :mod:`repro.hls.opcost`    — fp64 operator library + control-logic costs,
+  calibrated so the Inverse Helmholtz kernel matches the paper's report
+  (2,314 LUT / 2,999 FF / 15 DSP at 200 MHz);
+* :mod:`repro.hls.pipeline`  — initiation-interval analysis (accumulation
+  recurrences, memory-port pressure) and per-stage latency;
+* :mod:`repro.hls.resources` — resource estimation;
+* :mod:`repro.hls.report`    — the synthesis report object;
+* :mod:`repro.hls.csim`      — functional "C simulation" of the kernel.
+"""
+
+from repro.hls.opcost import OperatorLibrary, DEFAULT_LIBRARY
+from repro.hls.pipeline import StageSchedule, schedule_stage, kernel_latency_cycles
+from repro.hls.resources import estimate_resources, KernelResources
+from repro.hls.report import HlsReport, synthesize
+from repro.hls.csim import csim_kernel
+
+__all__ = [
+    "OperatorLibrary",
+    "DEFAULT_LIBRARY",
+    "StageSchedule",
+    "schedule_stage",
+    "kernel_latency_cycles",
+    "estimate_resources",
+    "KernelResources",
+    "HlsReport",
+    "synthesize",
+    "csim_kernel",
+]

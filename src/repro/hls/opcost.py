@@ -1,0 +1,89 @@
+"""Operator library and control-logic cost constants.
+
+Calibration note (single source of truth for kernel-level resources):
+the per-operator and per-structure constants below are fitted so that the
+generated Inverse Helmholtz kernel (p = 11, pipeline/flatten) reproduces
+the paper's Vivado HLS 2019.2 report — 2,314 LUT, 2,999 FF, 15 DSP at
+200 MHz (Sec. VI) — from its structure:
+
+    1 shared fp64 multiplier + 1 shared fp64 adder        (15 DSPs)
+    21 memory accesses (6 contractions x 3 + Hadamard x 3)
+    27 loops (6 x 4-deep nests + 1 x 3-deep nest)
+    7 stage FSMs + base control
+
+The estimate scales structurally for other kernels (different operator
+mixes, stage counts, access counts), which is what Table-I-style sweeps
+need; absolute numbers for kernels other than the calibrated one are
+extrapolations of the same model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """One floating-point operator implementation."""
+
+    name: str
+    dsp: int
+    lut: int
+    ff: int
+    latency: int  # pipeline stages
+
+
+@dataclass(frozen=True)
+class OperatorLibrary:
+    """fp64 operators plus structural cost constants."""
+
+    dmul: OperatorCost = OperatorCost("dmul", dsp=12, lut=700, ff=1100, latency=8)
+    dadd: OperatorCost = OperatorCost("dadd", dsp=3, lut=500, ff=700, latency=8)
+    dsub: OperatorCost = OperatorCost("dsub", dsp=3, lut=500, ff=700, latency=8)
+    ddiv: OperatorCost = OperatorCost("ddiv", dsp=0, lut=3200, ff=3800, latency=29)
+
+    # structural constants (per kernel)
+    lut_per_access: int = 30      # address generator per memory access
+    ff_per_access: int = 20
+    lut_per_loop: int = 12        # loop counter/bound compare
+    ff_per_loop: int = 11
+    lut_per_stage: int = 14       # stage FSM state + handshake
+    ff_per_stage: int = 24
+    lut_base: int = 62            # top-level control
+    ff_base: int = 314
+
+    # pipeline depth components
+    addr_stages: int = 2
+    mem_read_stages: int = 1
+    mem_write_stages: int = 1
+    ctrl_stages: int = 2
+
+    def op(self, name: str) -> OperatorCost:
+        ops: Dict[str, OperatorCost] = {
+            "dmul": self.dmul,
+            "dadd": self.dadd,
+            "dsub": self.dsub,
+            "ddiv": self.ddiv,
+        }
+        if name not in ops:
+            raise KeyError(f"unknown operator {name!r}")
+        return ops[name]
+
+
+DEFAULT_LIBRARY = OperatorLibrary()
+
+#: Operators required per stage kind.
+STAGE_OPERATORS = {
+    "contract": ("dmul", "dadd"),
+    "ewise:*": ("dmul",),
+    "ewise:/": ("ddiv",),
+    "ewise:+": ("dadd",),
+    "ewise:-": ("dsub",),
+}
+
+
+def operators_for_kind(kind: str) -> tuple:
+    if kind not in STAGE_OPERATORS:
+        raise KeyError(f"unknown stage kind {kind!r}")
+    return STAGE_OPERATORS[kind]

@@ -1,0 +1,165 @@
+"""Initiation-interval analysis and per-stage latency.
+
+Three pipeline modes (from the directives):
+
+* ``flatten`` — each stage's nest is flattened and pipelined; steady-state
+  throughput is II iterations/cycle over the whole iteration space.
+* ``inner``   — only the innermost loop is pipelined; outer iterations pay
+  the pipeline fill each time.
+* ``none``    — fully sequential iterations.
+
+II is limited by:
+
+* **accumulation recurrences** — a loop-carried dependence through the
+  fp64 adder.  The revisit distance of an output element is the product of
+  the trip counts of the loops *inside* the innermost reduction loop; the
+  recurrence forces ``II >= ceil(add_latency / distance)``.  This is why
+  the flow schedules reduction dims outside the innermost loop for
+  pipelined kernels (revisit distance >= inner trip count -> II = 1) —
+  see :mod:`repro.poly.reschedule`.
+* **memory-port pressure** — each PLM port sustains one access per cycle;
+  with unrolling, ``ceil(accesses / (ports * partition_factor))`` bounds II.
+
+Zero-initialization of memory accumulators is modelled as a predicated
+first write (``fuse_init=True``, Vivado-style init forwarding); the
+explicit init pass can be costed separately for ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.hlsdirectives import HlsDirectives
+from repro.codegen.kernel import StagePlan
+from repro.errors import HLSError
+from repro.hls.opcost import DEFAULT_LIBRARY, OperatorLibrary, operators_for_kind
+from repro.utils import ceil_div, prod
+
+
+@dataclass(frozen=True)
+class StageSchedule:
+    """HLS schedule of one stage."""
+
+    name: str
+    ii: int
+    depth: int
+    trip_count: int
+    cycles: int
+    limited_by: str  # 'none' | 'recurrence' | 'ports'
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: II={self.ii} depth={self.depth} trips={self.trip_count} "
+            f"cycles={self.cycles} ({self.limited_by})"
+        )
+
+
+def _pipeline_depth(plan: StagePlan, lib: OperatorLibrary) -> int:
+    ops = operators_for_kind(plan.kind)
+    op_lat = sum(lib.op(o).latency for o in ops)
+    return (
+        lib.addr_stages
+        + lib.mem_read_stages
+        + op_lat
+        + lib.mem_write_stages
+        + lib.ctrl_stages
+    )
+
+
+def _revisit_distance(plan: StagePlan) -> Optional[int]:
+    """Cycles between consecutive accesses to the same output element, for
+    accumulating stages; None when the stage does not accumulate."""
+    if not plan.kind == "contract" or plan.n_reduction_loops == 0:
+        return None
+    red = set(plan.reduction_dims)
+    innermost_red_pos = max(i for i, (v, _, _) in enumerate(plan.loops) if v in red)
+    inner = plan.loops[innermost_red_pos + 1 :]
+    return max(1, prod(hi - lo + 1 for _, lo, hi in inner))
+
+
+def _port_pressure_ii(plan: StagePlan, directives: HlsDirectives) -> int:
+    """II bound from memory ports: accesses per array per iteration versus
+    available ports (1 R + 1 W per PLM; cyclic partitioning multiplies)."""
+    per_array_reads: Dict[str, int] = {}
+    for arr, _ in plan.reads:
+        per_array_reads[arr] = per_array_reads.get(arr, 0) + 1
+    worst = 1
+    u = directives.unroll_factor
+    for arr, n in per_array_reads.items():
+        factor = directives.array_partition.get(arr, 1)
+        worst = max(worst, ceil_div(n * u, factor))
+    # write port: one write per iteration (RMW uses the same unit's W port)
+    wfactor = directives.array_partition.get(plan.write_array, 1)
+    worst = max(worst, ceil_div(u, wfactor))
+    return worst
+
+
+def schedule_stage(
+    plan: StagePlan,
+    directives: HlsDirectives,
+    lib: OperatorLibrary = DEFAULT_LIBRARY,
+    *,
+    fuse_init: bool = True,
+) -> StageSchedule:
+    """Compute II, depth, and cycle count for one stage."""
+    depth = _pipeline_depth(plan, lib)
+    trips = prod(hi - lo + 1 for _, lo, hi in plan.loops)
+    if directives.pipeline == "none":
+        cycles = trips * depth + lib.ctrl_stages
+        return StageSchedule(plan.name, depth, depth, trips, cycles, "none")
+
+    ii = 1
+    limited = "none"
+    dist = _revisit_distance(plan)
+    if dist is not None:
+        rec_ii = ceil_div(lib.dadd.latency, dist)
+        if rec_ii > ii:
+            ii, limited = rec_ii, "recurrence"
+    port_ii = _port_pressure_ii(plan, directives)
+    if port_ii > ii:
+        ii, limited = port_ii, "ports"
+
+    init_cycles = 0
+    if (
+        plan.kind == "contract"
+        and plan.n_reduction_loops > 0
+        and not plan.accumulator_style
+        and not fuse_init
+    ):
+        out_trips = prod(
+            hi - lo + 1 for v, lo, hi in plan.loops if v not in set(plan.reduction_dims)
+        )
+        init_cycles = out_trips + depth
+
+    if directives.pipeline == "flatten":
+        cycles = depth + (trips - 1) * ii + lib.ctrl_stages + init_cycles
+        return StageSchedule(plan.name, ii, depth, trips, cycles, limited)
+
+    # pipeline == 'inner': only the innermost loop is pipelined
+    if not plan.loops:
+        raise HLSError(f"stage {plan.name} has no loops")
+    inner_trips = plan.loops[-1][2] - plan.loops[-1][1] + 1
+    outer_trips = trips // inner_trips
+    per_outer = depth + (inner_trips - 1) * ii
+    cycles = outer_trips * (per_outer + 1) + lib.ctrl_stages + init_cycles
+    return StageSchedule(plan.name, ii, depth, trips, cycles, limited)
+
+
+def kernel_latency_cycles(
+    plans: List[StagePlan],
+    directives: HlsDirectives,
+    lib: OperatorLibrary = DEFAULT_LIBRARY,
+    *,
+    fuse_init: bool = True,
+) -> Tuple[int, List[StageSchedule]]:
+    """Total kernel invocation latency (cycles) + per-stage schedules.
+
+    Stages execute sequentially (dependences chain them); a small
+    start/done handshake wraps the function.
+    """
+    scheds = [
+        schedule_stage(p, directives, lib, fuse_init=fuse_init) for p in plans
+    ]
+    total = sum(s.cycles for s in scheds) + 2 * lib.ctrl_stages
+    return total, scheds

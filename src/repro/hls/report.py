@@ -1,0 +1,72 @@
+"""HLS synthesis report (the artifact the system generator consumes)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.codegen.hlsdirectives import HlsDirectives
+from repro.codegen.kernel import KernelCode
+from repro.hls.opcost import DEFAULT_LIBRARY, OperatorLibrary
+from repro.hls.pipeline import StageSchedule, kernel_latency_cycles
+from repro.hls.resources import KernelResources, estimate_resources
+
+DEFAULT_CLOCK_MHZ = 200.0  # the paper synthesizes all kernels at 200 MHz
+
+
+@dataclass
+class HlsReport:
+    """Everything the paper reads off the Vivado HLS report."""
+
+    kernel_name: str
+    latency_cycles: int
+    resources: KernelResources
+    clock_mhz: float
+    stage_schedules: List[StageSchedule] = field(default_factory=list)
+    directives: Optional[HlsDirectives] = None
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def max_ii(self) -> int:
+        return max((s.ii for s in self.stage_schedules), default=1)
+
+    def summary(self) -> str:
+        lines = [
+            f"== HLS report: {self.kernel_name} @ {self.clock_mhz:.0f} MHz ==",
+            f"latency: {self.latency_cycles} cycles "
+            f"({self.latency_seconds * 1e6:.1f} us)",
+            f"resources: {self.resources}",
+        ]
+        lines += [f"  {s}" for s in self.stage_schedules]
+        return "\n".join(lines)
+
+
+def synthesize(
+    code: KernelCode,
+    directives: Optional[HlsDirectives] = None,
+    lib: OperatorLibrary = DEFAULT_LIBRARY,
+    clock_mhz: float = DEFAULT_CLOCK_MHZ,
+    *,
+    fuse_init: bool = True,
+) -> HlsReport:
+    """Produce the HLS report for a generated kernel."""
+    directives = directives or HlsDirectives()
+    cycles, scheds = kernel_latency_cycles(
+        code.plans, directives, lib, fuse_init=fuse_init
+    )
+    internal = None
+    if code.temporaries_internal:
+        temps = [p for p in code.array_sizes if p not in code.interface_params]
+        internal = {t: code.array_sizes[t] for t in temps}
+    res = estimate_resources(code.plans, directives, lib, internal_arrays=internal)
+    return HlsReport(
+        kernel_name=code.function.name,
+        latency_cycles=cycles,
+        resources=res,
+        clock_mhz=clock_mhz,
+        stage_schedules=scheds,
+        directives=directives,
+    )

@@ -1,0 +1,19 @@
+"""Layout materialization (step ii of Fig. 4).
+
+Tensors are mapped to one-dimensional *arrays* (``array[i]`` index spaces,
+later implemented by concrete platform memory).  Every tensor must have an
+affine layout; the default is row-major (the "C99 standard innermost
+dimension layout": ``t[i,j,k] -> t[121 i + 11 j + k]``).  Partitioning maps
+then map arrays to arrays and may split or merge address spaces.
+"""
+
+from repro.layout.layout import Layout, default_layouts
+from repro.layout.partition import PartitionMap, merge_arrays, identity_partition
+
+__all__ = [
+    "Layout",
+    "default_layouts",
+    "PartitionMap",
+    "merge_arrays",
+    "identity_partition",
+]

@@ -1,0 +1,185 @@
+"""Partitioning maps: array-to-array mappings that split and merge arrays.
+
+From Sec. IV-D: "These mappings can declare relations of the very general
+type ``U array[i] -> U array[o]``, provided that their union has an
+injective fixpoint.  This means that they can, in fact, split and merge
+arrays, despite the name.  This allows non-surjective mappings, which can be
+used to implement explicit address-space sharing if the transformation is
+legal."
+
+A :class:`PartitionMap` is a list of rules; each rule rewrites a source
+array's addresses (optionally guarded by an affine range) into a target
+array at an affine offset/stride.  Legality:
+
+* the rule set must be a *fixpoint* (no target array is also a source), and
+* the union map must be injective, except across arrays whose lifetimes are
+  disjoint (checked later against liveness — explicit address-space sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LayoutError
+from repro.poly.aff import AffExpr
+from repro.poly.iset import BasicSet
+from repro.poly.space import Space
+
+
+@dataclass(frozen=True)
+class PartitionRule:
+    """``src[i] -> dst[stride*i + offset]`` for ``lo <= i <= hi`` (optional)."""
+
+    src: str
+    dst: str
+    stride: int = 1
+    offset: int = 0
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    def applies(self, addr: int) -> bool:
+        if self.lo is not None and addr < self.lo:
+            return False
+        if self.hi is not None and addr > self.hi:
+            return False
+        return True
+
+    def apply(self, addr: int) -> int:
+        return self.stride * addr + self.offset
+
+    def __str__(self) -> str:
+        guard = ""
+        if self.lo is not None or self.hi is not None:
+            guard = f" : {self.lo if self.lo is not None else ''}..{self.hi if self.hi is not None else ''}"
+        return f"{{ {self.src}[i] -> {self.dst}[{self.stride}*i + {self.offset}]{guard} }}"
+
+
+@dataclass
+class PartitionMap:
+    """A set of rules, keyed by source array."""
+
+    rules: List[PartitionRule] = field(default_factory=list)
+
+    def add(self, rule: PartitionRule) -> "PartitionMap":
+        self.rules.append(rule)
+        return self
+
+    def sources(self) -> List[str]:
+        return sorted({r.src for r in self.rules})
+
+    def targets(self) -> List[str]:
+        return sorted({r.dst for r in self.rules})
+
+    def rules_for(self, src: str) -> List[PartitionRule]:
+        return [r for r in self.rules if r.src == src]
+
+    # -- legality ---------------------------------------------------------------
+    def check_fixpoint(self) -> None:
+        """Targets must not themselves be rewritten (injective *fixpoint*)."""
+        srcs = set(self.sources())
+        for r in self.rules:
+            if r.dst in srcs and any(
+                not (rr.src == rr.dst and rr.stride == 1 and rr.offset == 0)
+                for rr in self.rules_for(r.dst)
+            ):
+                raise LayoutError(
+                    f"partition map has no fixpoint: target {r.dst!r} is rewritten again"
+                )
+
+    def check_rules_cover(self, sizes: Dict[str, int]) -> None:
+        """Every address of each source array must be mapped exactly once."""
+        for src in self.sources():
+            size = sizes[src]
+            covered = [0] * size
+            for r in self.rules_for(src):
+                lo = max(0, r.lo if r.lo is not None else 0)
+                hi = min(size - 1, r.hi if r.hi is not None else size - 1)
+                for a in range(lo, hi + 1):
+                    covered[a] += 1
+            if any(c == 0 for c in covered):
+                raise LayoutError(f"partition map leaves {src!r} partially unmapped")
+            if any(c > 1 for c in covered):
+                raise LayoutError(f"partition map maps {src!r} ambiguously")
+
+    def overlapping_pairs(self, sizes: Dict[str, int]) -> List[Tuple[str, str]]:
+        """Pairs of source arrays whose images in some target overlap.
+
+        These merges are only legal when the arrays' lifetimes are disjoint
+        (explicit address-space sharing); the memory compatibility check
+        consumes this list.
+        """
+        out: List[Tuple[str, str]] = []
+        srcs = self.sources()
+        for i, a in enumerate(srcs):
+            for b in srcs[i + 1 :]:
+                if self._images_overlap(a, b, sizes):
+                    out.append((a, b))
+        return out
+
+    def _images_overlap(self, a: str, b: str, sizes: Dict[str, int]) -> bool:
+        for dst in self.targets():
+            rules_a = [r for r in self.rules_for(a) if r.dst == dst]
+            rules_b = [r for r in self.rules_for(b) if r.dst == dst]
+            for ra in rules_a:
+                for rb in rules_b:
+                    if self._rule_images_overlap(ra, rb, sizes[a], sizes[b]):
+                        return True
+        return False
+
+    @staticmethod
+    def _rule_images_overlap(ra: PartitionRule, rb: PartitionRule, size_a: int, size_b: int) -> bool:
+        sp = Space("", ("x", "y"))
+        lo_a = max(0, ra.lo if ra.lo is not None else 0)
+        hi_a = min(size_a - 1, ra.hi if ra.hi is not None else size_a - 1)
+        lo_b = max(0, rb.lo if rb.lo is not None else 0)
+        hi_b = min(size_b - 1, rb.hi if rb.hi is not None else size_b - 1)
+        if lo_a > hi_a or lo_b > hi_b:
+            return False
+        bs = BasicSet.from_box(sp, [(lo_a, hi_a), (lo_b, hi_b)]).with_constraint(
+            AffExpr.var("x", ra.stride)
+            + AffExpr.constant(ra.offset)
+            - AffExpr.var("y", rb.stride)
+            - AffExpr.constant(rb.offset),
+            eq=True,
+        )
+        return not bs.is_empty()
+
+    def apply_address(self, array: str, addr: int) -> Tuple[str, int]:
+        """Map one concrete address (identity for unmapped arrays)."""
+        rules = [r for r in self.rules_for(array) if r.applies(addr)]
+        if not rules:
+            return (array, addr)
+        if len(rules) > 1:
+            raise LayoutError(f"ambiguous partition rules for {array}[{addr}]")
+        return (rules[0].dst, rules[0].apply(addr))
+
+    def target_size(self, sizes: Dict[str, int]) -> Dict[str, int]:
+        """Sizes of target arrays implied by the mapped images."""
+        out: Dict[str, int] = {}
+        for src in self.sources():
+            for r in self.rules_for(src):
+                lo = max(0, r.lo if r.lo is not None else 0)
+                hi = min(sizes[src] - 1, r.hi if r.hi is not None else sizes[src] - 1)
+                if lo > hi:
+                    continue
+                top = r.apply(hi) if r.stride >= 0 else r.apply(lo)
+                out[r.dst] = max(out.get(r.dst, 0), top + 1)
+        for name, size in sizes.items():
+            if name not in self.sources():
+                out.setdefault(name, size)
+        return out
+
+
+def identity_partition(arrays: Sequence[str]) -> PartitionMap:
+    return PartitionMap([PartitionRule(a, a) for a in arrays])
+
+
+def merge_arrays(groups: Dict[str, Sequence[str]]) -> PartitionMap:
+    """Build a merge map: every array in ``groups[dst]`` aliases ``dst`` at
+    offset 0 (explicit address-space sharing)."""
+    pm = PartitionMap()
+    for dst, members in groups.items():
+        for m in members:
+            pm.add(PartitionRule(m, dst))
+    return pm

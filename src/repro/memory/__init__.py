@@ -1,0 +1,26 @@
+"""Liveness analysis and memory compatibility graphs (Sec. IV-F, Fig. 5).
+
+Mnemosyne needs external information on the memory interface: which arrays
+may share an address space (lifetimes never overlap) and which may share a
+memory interface (same-type accesses never coincide).  The compiler derives
+both from dataflow analysis on the scheduled program and exports them as
+metadata (step iv of Fig. 4).
+"""
+
+from repro.memory.liveness import (
+    ArrayLiveness,
+    element_liveness,
+    stage_liveness,
+)
+from repro.memory.compat import (
+    CompatibilityGraph,
+    build_compatibility_graph,
+)
+
+__all__ = [
+    "ArrayLiveness",
+    "element_liveness",
+    "stage_liveness",
+    "CompatibilityGraph",
+    "build_compatibility_graph",
+]

@@ -1,0 +1,188 @@
+"""Liveness analysis over schedule space (Sec. IV-F).
+
+Dataflow analysis returns RAW dependences ``array[i] -> [write -> read]``;
+applying the schedule to both sides gives liveness intervals
+``I = (S x S) o RAW``, and ``L = ge_le o I`` maps every array element to the
+set of schedule tuples at which it carries a live value.
+
+Correct liveness of inputs and outputs "requires a modified virtual
+schedule" with two statements *first* and *last* modelling host writes to
+inputs and reads from outputs; we place them at virtual stages
+``min_stage - 1`` and ``max_stage + 1``.
+
+Two granularities are provided:
+
+* :func:`element_liveness` — the exact polyhedral ``L`` for one array
+  (used in tests and for fine-grained legality queries);
+* :func:`stage_liveness` — array-granularity live intervals over stages,
+  which is what the array-level compatibility graph consumes.  For the
+  stage-major schedules this flow produces, an array is live during stage
+  ``k`` iff some element is, so array-level compatibility judged on stage
+  intervals coincides with the element-wise definition (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.poly.aff import AffExpr, AffTuple
+from repro.poly.dataflow import raw_element_relation
+from repro.poly.imap import IMap
+from repro.poly.iset import BasicSet
+from repro.poly.lexorder import ge_le
+from repro.poly.schedule import PolyProgram, virtual_boundary_stages
+from repro.poly.space import Space
+from repro.teil.types import TensorKind
+
+
+@dataclass(frozen=True)
+class ArrayLiveness:
+    """Array-granularity live interval in stage coordinates (inclusive)."""
+
+    tensor: str
+    first_write_stage: int
+    last_read_stage: int
+
+    @property
+    def interval(self):
+        return (self.first_write_stage, self.last_read_stage)
+
+    def overlaps(self, other: "ArrayLiveness") -> bool:
+        """Stage-granularity overlap (same-stage counts as overlapping:
+        within a stage, reads of one array interleave with writes of the
+        other at element granularity)."""
+        return not (
+            self.last_read_stage < other.first_write_stage
+            or other.last_read_stage < self.first_write_stage
+        )
+
+    def __str__(self) -> str:
+        return f"{self.tensor}: [{self.first_write_stage}, {self.last_read_stage}]"
+
+
+def stage_liveness(prog: PolyProgram) -> Dict[str, ArrayLiveness]:
+    """Live interval per tensor, with virtual first/last boundary stages."""
+    first, last = virtual_boundary_stages(prog)
+    out: Dict[str, ArrayLiveness] = {}
+    for decl in prog.function.decls.values():
+        name = decl.name
+        writers = prog.writers_of(name)
+        readers = prog.readers_of(name)
+        if decl.kind is TensorKind.INPUT:
+            fw = first  # written by the host before execution
+        elif writers:
+            fw = min(prog.stage_of(s) for s in writers)
+        else:  # declared but never produced (validation forbids, be safe)
+            fw = last
+        if decl.kind is TensorKind.OUTPUT:
+            lr = last  # read by the host after execution
+        elif readers:
+            lr = max(prog.stage_of(s) for s in readers)
+        else:
+            lr = fw
+        out[name] = ArrayLiveness(name, fw, lr)
+    return out
+
+
+def _virtual_interval_map(
+    prog: PolyProgram, tensor: str, write_stage: Optional[int], read_stage: Optional[int]
+) -> Optional[IMap]:
+    """Interval map contributions from the virtual first/last statements.
+
+    For an input: virtual write at ``[first, 0...]`` paired with every real
+    read; for an output: every real write paired with the virtual read at
+    ``[last, 0...]``.
+    """
+    rank = prog.sched_rank
+    decl = prog.function.decls[tensor]
+    elem_dims = tuple(f"d{j}" for j in range(len(decl.shape)))
+    elem_space = Space(tensor, elem_dims)
+    domain = BasicSet.from_shape(elem_space, decl.shape)
+    result: Optional[IMap] = None
+
+    def const_tuple(stage: int):
+        return tuple([AffExpr.constant(stage)] + [AffExpr.constant(0)] * (rank - 1))
+
+    if write_stage is not None:
+        for r in prog.readers_of(tensor):
+            for acc in r.reads:
+                if acc.tensor != tensor:
+                    continue
+                graph = IMap.from_aff(acc.fn, r.domain)        # inst -> elem
+                sched = IMap.from_aff(prog.schedules[r.name], r.domain)
+                rmap = sched.compose(graph.inverse())          # elem -> sched_r
+                wmap = IMap.from_aff(
+                    AffTuple(elem_space, const_tuple(write_stage), Space("", tuple(f"w{k}" for k in range(rank)))),
+                    domain,
+                )
+                pair = _zip_maps(wmap, rmap, elem_space, domain)
+                result = pair if result is None else result.union(pair)
+    if read_stage is not None:
+        for w in prog.writers_of(tensor):
+            graph = IMap.from_aff(w.write.fn, w.domain)
+            sched = IMap.from_aff(prog.schedules[w.name], w.domain)
+            wmap = sched.compose(graph.inverse())
+            rmap = IMap.from_aff(
+                AffTuple(elem_space, const_tuple(read_stage), Space("", tuple(f"r{k}" for k in range(rank)))),
+                domain,
+            )
+            pair = _zip_maps(wmap, rmap, elem_space, domain)
+            result = pair if result is None else result.union(pair)
+    return result
+
+
+def _zip_maps(wmap: IMap, rmap: IMap, elem_space: Space, domain: BasicSet) -> IMap:
+    """Combine ``elem -> sw`` and ``elem -> sr`` into ``elem -> (sw, sr)``."""
+    ident = tuple(AffExpr.var(d) for d in elem_space.dims)
+    diag = IMap.from_aff(
+        AffTuple(
+            elem_space,
+            ident + ident,
+            Space(elem_space.name, tuple(f"a{j}" for j in range(2 * elem_space.rank))),
+        ),
+        domain,
+    )
+    return wmap.product(rmap).compose(diag)
+
+
+def element_liveness(prog: PolyProgram, tensor: str) -> Optional[IMap]:
+    """The paper's ``L : array[i] -> [...]`` for one array — the exact set of
+    schedule tuples at which each element is live.  Returns None for arrays
+    with no live value (never both written and read, including virtually).
+    """
+    first, last = virtual_boundary_stages(prog)
+    decl = prog.function.decls[tensor]
+    parts: Optional[IMap] = None
+    raw = raw_element_relation(prog, tensor)
+    if raw is not None:
+        parts = raw
+    virt = _virtual_interval_map(
+        prog,
+        tensor,
+        first if decl.kind is TensorKind.INPUT else None,
+        last if decl.kind is TensorKind.OUTPUT else None,
+    )
+    if virt is not None:
+        parts = virt if parts is None else parts.union(virt)
+    if parts is None:
+        return None
+    return ge_le(parts, prog.sched_rank)
+
+
+def arrays_conflict_elementwise(
+    prog: PolyProgram, a: str, b: str, *, exact: bool = False
+) -> bool:
+    """Element-wise address-space conflict: do the liveness images overlap?
+
+    Used to validate the stage-granularity test on small kernels.  With
+    ``exact=False`` the emptiness check is rational (conservative: may
+    report a conflict that integer reasoning would rule out).
+    """
+    la = element_liveness(prog, a)
+    lb = element_liveness(prog, b)
+    if la is None or lb is None:
+        return False
+    ra = la.range()
+    rb = lb.range()
+    return not ra.intersect(rb).is_empty(exact=exact)

@@ -1,0 +1,43 @@
+"""Mnemosyne: memory subsystem generation (Pilato et al., TCAD'17).
+
+Mnemosyne "takes over the generation of the memory architecture for the
+accelerator and supports the effective use of FPGA BRAMs": it implements
+each exported array with a PLM (private local memory) unit, creates
+zero-conflict multi-bank/multi-port architectures with fixed access
+latency, and applies **memory sharing** driven by the compiler's
+compatibility metadata.
+
+Modules:
+
+* :mod:`repro.mnemosyne.bram`    — BRAM primitive geometry and counting,
+* :mod:`repro.mnemosyne.plm`     — PLM units (banks, ports, controllers),
+* :mod:`repro.mnemosyne.sharing` — sharing optimizer (pairwise matching, as
+  the paper's tool; clique cover as a more aggressive ablation),
+* :mod:`repro.mnemosyne.config`  — the metadata interface with the compiler
+  (step iv of Fig. 4), JSON-serializable.
+"""
+
+from repro.mnemosyne.bram import (
+    BRAM36_BITS,
+    PortClass,
+    brams_for_unit,
+    hls_internal_brams,
+    hls_internal_is_lutram,
+)
+from repro.mnemosyne.plm import PLMUnit, MemorySubsystem
+from repro.mnemosyne.sharing import build_memory_subsystem, SharingMode
+from repro.mnemosyne.config import MnemosyneConfig, port_class_assignment
+
+__all__ = [
+    "BRAM36_BITS",
+    "PortClass",
+    "brams_for_unit",
+    "hls_internal_brams",
+    "hls_internal_is_lutram",
+    "PLMUnit",
+    "MemorySubsystem",
+    "build_memory_subsystem",
+    "SharingMode",
+    "MnemosyneConfig",
+    "port_class_assignment",
+]

@@ -1,0 +1,127 @@
+"""Mnemosyne input metadata (step iv of Fig. 4).
+
+"We modified the CFDlang compiler to automatically create the Mnemosyne
+input metadata during the compilation.  This is crucial since the compiler
+can support sophisticated partitioning or sharing of data among multiple
+memory banks through code analysis."
+
+The configuration carries, per exported array: size, word width, port
+class, and the compatibility edges from liveness analysis.  It is
+JSON-serializable (the artifact the flow hands to the memory generator).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from repro.errors import MemoryArchitectureError
+from repro.memory.compat import CompatibilityGraph
+from repro.mnemosyne.bram import PortClass
+from repro.poly.schedule import PolyProgram
+from repro.teil.types import TensorKind
+
+
+@dataclass
+class MnemosyneConfig:
+    """Everything Mnemosyne needs to build the memory subsystem."""
+
+    arrays: List[str]
+    sizes: Dict[str, int]                      # 64-bit words
+    word_bits: int
+    port_classes: Dict[str, PortClass]
+    address_space_edges: Set[FrozenSet[str]] = field(default_factory=set)
+    interface_edges: Set[FrozenSet[str]] = field(default_factory=set)
+    banks: Dict[str, int] = field(default_factory=dict)  # cyclic partition factors
+
+    def __post_init__(self) -> None:
+        for a in self.arrays:
+            if a not in self.sizes:
+                raise MemoryArchitectureError(f"array {a!r} has no size")
+            if a not in self.port_classes:
+                raise MemoryArchitectureError(f"array {a!r} has no port class")
+
+    def banks_of(self, array: str) -> int:
+        return self.banks.get(array, 1)
+
+    def compatible(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self.address_space_edges
+
+    # -- serialization ------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "arrays": self.arrays,
+                "sizes": self.sizes,
+                "word_bits": self.word_bits,
+                "port_classes": {a: p.value for a, p in self.port_classes.items()},
+                "address_space_edges": sorted(sorted(e) for e in self.address_space_edges),
+                "interface_edges": sorted(sorted(e) for e in self.interface_edges),
+                "banks": self.banks,
+            },
+            indent=2,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "MnemosyneConfig":
+        d = json.loads(text)
+        return MnemosyneConfig(
+            arrays=list(d["arrays"]),
+            sizes={k: int(v) for k, v in d["sizes"].items()},
+            word_bits=int(d["word_bits"]),
+            port_classes={k: PortClass(v) for k, v in d["port_classes"].items()},
+            address_space_edges={frozenset(e) for e in d["address_space_edges"]},
+            interface_edges={frozenset(e) for e in d["interface_edges"]},
+            banks={k: int(v) for k, v in d.get("banks", {}).items()},
+        )
+
+
+def port_class_assignment(prog: PolyProgram) -> Dict[str, PortClass]:
+    """Assign port classes per the streaming policy (see bram.py).
+
+    Inputs/outputs whose data changes per element are streamed through the
+    interconnect and need the extra system port; *static operands* — inputs
+    read by two or more statements, i.e. reused operator matrices like S —
+    are transferred once and need only the accelerator's ports, as do all
+    temporaries.
+    """
+    out: Dict[str, PortClass] = {}
+    for d in prog.function.decls.values():
+        if d.kind is TensorKind.OUTPUT:
+            out[d.name] = PortClass.ACCELERATOR_AND_SYSTEM
+        elif d.kind is TensorKind.INPUT:
+            n_readers = len(prog.readers_of(d.name))
+            static_operand = n_readers >= 2
+            out[d.name] = (
+                PortClass.ACCELERATOR_ONLY
+                if static_operand
+                else PortClass.ACCELERATOR_AND_SYSTEM
+            )
+        else:
+            out[d.name] = PortClass.ACCELERATOR_ONLY
+    return out
+
+
+def config_from_compat(
+    graph: CompatibilityGraph,
+    port_classes: Dict[str, PortClass],
+    word_bits: int = 64,
+    banks: Dict[str, int] | None = None,
+) -> MnemosyneConfig:
+    return MnemosyneConfig(
+        arrays=list(graph.arrays),
+        sizes=dict(graph.sizes),
+        word_bits=word_bits,
+        port_classes=dict(port_classes),
+        address_space_edges=set(graph.address_space_edges),
+        interface_edges=set(graph.interface_edges),
+        banks=dict(banks or {}),
+    )
+
+
+def build_config(prog: PolyProgram) -> MnemosyneConfig:
+    """Compiler-side convenience: compat graph + port classes in one call."""
+    from repro.memory.compat import build_compatibility_graph
+
+    return config_from_compat(build_compatibility_graph(prog), port_class_assignment(prog))

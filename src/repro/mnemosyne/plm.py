@@ -1,0 +1,106 @@
+"""PLM units and the per-kernel memory subsystem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import MemoryArchitectureError
+from repro.mnemosyne.bram import PortClass, brams_for_unit
+from repro.utils import ceil_div
+
+# Controller logic per PLM unit (address decode + write-enable fan-out).
+# Small by design: Table I shows near-identical logic for the sharing and
+# no-sharing architectures (e.g. 11,318 vs 11,292 LUTs at m=1) even though
+# the unit count differs, so per-unit logic must be marginal.
+PLM_CTRL_LUT_PER_UNIT = 6
+PLM_CTRL_FF_PER_UNIT = 4
+PLM_CTRL_LUT_PER_MEMBER = 2   # member select (sharing muxes addresses)
+
+
+@dataclass(frozen=True)
+class PLMUnit:
+    """One private local memory unit: a set of arrays overlaid on shared
+    storage (singleton when no sharing applies).
+
+    ``banks > 1`` builds a cyclic multi-bank unit so an unrolled kernel can
+    issue that many concurrent accesses ("multi-port, multi-bank
+    architectures based on the requested HLS optimizations", Sec. V-A2).
+    """
+
+    name: str
+    members: Tuple[str, ...]
+    words: int                   # capacity: max member size (offset-0 overlay)
+    port_class: PortClass
+    banks: int = 1
+
+    @property
+    def brams(self) -> int:
+        return brams_for_unit(self.words, self.port_class, self.banks)
+
+    @property
+    def ctrl_luts(self) -> int:
+        return (
+            PLM_CTRL_LUT_PER_UNIT
+            + PLM_CTRL_LUT_PER_MEMBER * (len(self.members) - 1)
+            + PLM_CTRL_LUT_PER_UNIT * (self.banks - 1)  # bank steering
+        )
+
+    @property
+    def ctrl_ffs(self) -> int:
+        return PLM_CTRL_FF_PER_UNIT * self.banks
+
+    def __str__(self) -> str:
+        bank_s = f", {self.banks} banks" if self.banks > 1 else ""
+        return (
+            f"PLM {self.name}: {{{', '.join(self.members)}}} "
+            f"{self.words} words, {self.port_class.value}{bank_s}, {self.brams} BRAM36"
+        )
+
+
+@dataclass
+class MemorySubsystem:
+    """All PLM units of one kernel replica."""
+
+    units: List[PLMUnit] = field(default_factory=list)
+
+    @property
+    def brams(self) -> int:
+        return sum(u.brams for u in self.units)
+
+    @property
+    def ctrl_luts(self) -> int:
+        return sum(u.ctrl_luts for u in self.units)
+
+    @property
+    def ctrl_ffs(self) -> int:
+        return sum(u.ctrl_ffs for u in self.units)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    def unit_of(self, array: str) -> PLMUnit:
+        for u in self.units:
+            if array in u.members:
+                return u
+        raise MemoryArchitectureError(f"array {array!r} not in any PLM unit")
+
+    def arrays(self) -> List[str]:
+        return [a for u in self.units for a in u.members]
+
+    def summary(self) -> str:
+        lines = [f"memory subsystem: {self.n_units} PLM units, {self.brams} BRAM36"]
+        lines += [f"  {u}" for u in self.units]
+        return "\n".join(lines)
+
+    def validate(self) -> "MemorySubsystem":
+        seen: Dict[str, str] = {}
+        for u in self.units:
+            for m in u.members:
+                if m in seen:
+                    raise MemoryArchitectureError(
+                        f"array {m!r} in two PLM units ({seen[m]}, {u.name})"
+                    )
+                seen[m] = u.name
+        return self

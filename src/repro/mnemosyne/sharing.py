@@ -1,0 +1,215 @@
+"""Memory-sharing optimization over the compatibility graph.
+
+Three modes:
+
+* ``NONE``     — one PLM unit per array (the paper's baseline: 31 BRAMs per
+  Inverse Helmholtz kernel).
+* ``MATCHING`` — pairwise merges chosen by maximum-weight matching on the
+  address-space compatibility graph, weights = BRAM savings.  This mirrors
+  the pairwise-merge behaviour of the Mnemosyne release used in the paper
+  and reproduces its 18 BRAMs per kernel.
+* ``CLIQUE``   — greedy clique cover: any number of mutually compatible
+  arrays overlay one unit.  More aggressive than the paper's tool (13
+  BRAMs for the Helmholtz kernel); reported as an ablation.
+
+Merged units take the strongest port class of their members and the
+capacity of the largest member (all members overlay at offset 0; liveness
+disjointness makes this legal — Sec. V-A2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.errors import MemoryArchitectureError
+from repro.mnemosyne.bram import PortClass, brams_for_unit
+from repro.mnemosyne.config import MnemosyneConfig
+from repro.mnemosyne.plm import MemorySubsystem, PLMUnit
+
+
+class SharingMode(enum.Enum):
+    NONE = "none"
+    MATCHING = "matching"
+    CLIQUE = "clique"
+
+
+def _merged_port_class(config: MnemosyneConfig, members: Tuple[str, ...]) -> PortClass:
+    if any(
+        config.port_classes[m] is PortClass.ACCELERATOR_AND_SYSTEM for m in members
+    ):
+        return PortClass.ACCELERATOR_AND_SYSTEM
+    return PortClass.ACCELERATOR_ONLY
+
+
+def _unit_for(config: MnemosyneConfig, members: Tuple[str, ...], idx: int) -> PLMUnit:
+    words = max(config.sizes[m] for m in members)
+    banks = max(config.banks_of(m) for m in members)
+    return PLMUnit(
+        f"plm{idx}", tuple(members), words, _merged_port_class(config, members), banks
+    )
+
+
+def _merge_saving(config: MnemosyneConfig, a: str, b: str) -> int:
+    """BRAM tiles saved by overlaying two arrays in one unit."""
+    alone = brams_for_unit(
+        config.sizes[a], config.port_classes[a], config.banks_of(a)
+    ) + brams_for_unit(config.sizes[b], config.port_classes[b], config.banks_of(b))
+    merged_words = max(config.sizes[a], config.sizes[b])
+    merged_banks = max(config.banks_of(a), config.banks_of(b))
+    merged = brams_for_unit(
+        merged_words, _merged_port_class(config, (a, b)), merged_banks
+    )
+    return alone - merged
+
+
+def _share_matching(config: MnemosyneConfig) -> List[Tuple[str, ...]]:
+    g = nx.Graph()
+    g.add_nodes_from(config.arrays)
+    for e in config.address_space_edges:
+        a, b = sorted(e)
+        w = _merge_saving(config, a, b)
+        if w > 0:
+            g.add_edge(a, b, weight=w)
+    matching = nx.max_weight_matching(g, maxcardinality=False)
+    paired = {}
+    for a, b in matching:
+        paired[a] = b
+        paired[b] = a
+    groups: List[Tuple[str, ...]] = []
+    done = set()
+    for a in config.arrays:
+        if a in done:
+            continue
+        if a in paired:
+            b = paired[a]
+            groups.append(tuple(sorted((a, b))))
+            done.update((a, b))
+        else:
+            groups.append((a,))
+            done.add(a)
+    return groups
+
+
+_EXACT_CLIQUE_LIMIT = 14  # subset-DP beyond this is too slow; greedy fallback
+
+
+def _share_clique(config: MnemosyneConfig) -> List[Tuple[str, ...]]:
+    """Minimum-BRAM clique cover.
+
+    Exact for up to ``_EXACT_CLIQUE_LIMIT`` arrays via subset dynamic
+    programming (``best[mask] = min over clique submasks containing the
+    lowest bit``); greedy first-fit (largest arrays first) beyond that.
+    """
+    arrays = sorted(config.arrays)
+    n = len(arrays)
+    idx = {a: i for i, a in enumerate(arrays)}
+    adj = [0] * n
+    for e in config.address_space_edges:
+        a, b = tuple(e)
+        if a in idx and b in idx:
+            adj[idx[a]] |= 1 << idx[b]
+            adj[idx[b]] |= 1 << idx[a]
+
+    def group_cost(mask: int) -> int:
+        members = tuple(arrays[i] for i in range(n) if mask & (1 << i))
+        words = max(config.sizes[m] for m in members)
+        banks = max(config.banks_of(m) for m in members)
+        return brams_for_unit(words, _merged_port_class(config, members), banks)
+
+    def is_clique_simple(mask: int) -> bool:
+        bits = [i for i in range(n) if mask & (1 << i)]
+        for x in range(len(bits)):
+            for y in range(x + 1, len(bits)):
+                if not (adj[bits[x]] >> bits[y]) & 1:
+                    return False
+        return True
+
+    if n <= _EXACT_CLIQUE_LIMIT:
+        full = (1 << n) - 1
+        INF = float("inf")
+        best = [INF] * (full + 1)
+        choice = [0] * (full + 1)
+        best[0] = 0
+        for mask in range(1, full + 1):
+            low = mask & -mask
+            sub = mask
+            while sub:
+                if sub & low and is_clique_simple(sub):
+                    c = group_cost(sub) + best[mask ^ sub]
+                    if c < best[mask]:
+                        best[mask] = c
+                        choice[mask] = sub
+                sub = (sub - 1) & mask
+        groups: List[Tuple[str, ...]] = []
+        mask = full
+        while mask:
+            sub = choice[mask]
+            groups.append(tuple(arrays[i] for i in range(n) if sub & (1 << i)))
+            mask ^= sub
+        return sorted(groups)
+
+    # greedy fallback: largest arrays first, extend to a maximal clique
+    order = sorted(config.arrays, key=lambda a: (-config.sizes[a], a))
+    groups = []
+    used: set = set()
+    for a in order:
+        if a in used:
+            continue
+        group = [a]
+        used.add(a)
+        for b in order:
+            if b in used:
+                continue
+            if all((adj[idx[b]] >> idx[m]) & 1 for m in group):
+                group.append(b)
+                used.add(b)
+        groups.append(tuple(sorted(group)))
+    return sorted(groups)
+
+
+def validate_groups(config: MnemosyneConfig, groups: List[Tuple[str, ...]]) -> None:
+    """Legality: every pair inside a group must be address-space compatible."""
+    for group in groups:
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                if not config.compatible(a, b):
+                    raise MemoryArchitectureError(
+                        f"illegal sharing: {a!r} and {b!r} are not address-space compatible"
+                    )
+
+
+def build_memory_subsystem(
+    config: MnemosyneConfig,
+    mode: SharingMode = SharingMode.MATCHING,
+    groups: List[Tuple[str, ...]] | None = None,
+) -> MemorySubsystem:
+    """Build the per-kernel memory subsystem under the given sharing mode.
+
+    ``groups`` overrides the optimizer with an explicit grouping (still
+    legality-checked) — used for what-if exploration.
+    """
+    if groups is None:
+        if mode is SharingMode.NONE:
+            groups = [(a,) for a in config.arrays]
+        elif mode is SharingMode.MATCHING:
+            groups = _share_matching(config)
+        elif mode is SharingMode.CLIQUE:
+            groups = _share_clique(config)
+        else:  # pragma: no cover
+            raise MemoryArchitectureError(f"unknown sharing mode {mode}")
+    validate_groups(config, groups)
+    subsystem = MemorySubsystem(
+        [_unit_for(config, g, i) for i, g in enumerate(groups)]
+    )
+    return subsystem.validate()
+
+
+def sharing_report(config: MnemosyneConfig) -> Dict[str, int]:
+    """BRAM totals per sharing mode (for Fig. 8-style summaries)."""
+    return {
+        mode.value: build_memory_subsystem(config, mode).brams
+        for mode in SharingMode
+    }

@@ -1,0 +1,112 @@
+"""Loop-AST generation from a scheduled polyhedral program (step v).
+
+The schedule family produced by this flow (constant leading stage, then a
+permutation of the statement's loop dims) generates one perfect loop nest
+per stage.  Contractions whose reduction dims form the innermost contiguous
+suffix are emitted in accumulator style::
+
+    for (out dims) { acc = 0; for (red dims) acc += ...; write acc; }
+
+otherwise in memory-accumulate style (zero-init loop + in-place updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import PolyhedralError
+from repro.poly.schedule import PolyProgram, PolyStatement
+
+
+@dataclass(frozen=True)
+class LoopDim:
+    """One loop of a nest: ``for (var = lo; var <= hi; ++var)``."""
+
+    var: str
+    lo: int
+    hi: int
+
+    @property
+    def trip_count(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass(frozen=True)
+class ComputeNode:
+    """A statement placed inside its loop nest."""
+
+    stmt: PolyStatement
+    loops: Tuple[LoopDim, ...]          # outermost first, schedule order
+    accumulator_style: bool             # reduction dims are innermost suffix
+    n_reduction_loops: int
+
+    @property
+    def out_loops(self) -> Tuple[LoopDim, ...]:
+        if self.n_reduction_loops == 0:
+            return self.loops
+        return self.loops[: -self.n_reduction_loops]
+
+    @property
+    def red_loops(self) -> Tuple[LoopDim, ...]:
+        if self.n_reduction_loops == 0:
+            return ()
+        return self.loops[-self.n_reduction_loops :]
+
+    @property
+    def total_trip_count(self) -> int:
+        n = 1
+        for l in self.loops:
+            n *= l.trip_count
+        return n
+
+
+@dataclass
+class LoopAst:
+    """Ordered stages of the kernel body."""
+
+    stages: List[ComputeNode] = field(default_factory=list)
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+
+def scheduled_loop_dims(prog: PolyProgram, stmt: PolyStatement) -> Tuple[str, ...]:
+    """Loop dims of a statement in schedule order (from its schedule exprs)."""
+    sched = prog.schedules[stmt.name]
+    dims: List[str] = []
+    for e in sched.exprs[1:]:
+        used = e.used_dims()
+        if len(used) == 1:
+            dims.append(used[0])
+        elif len(used) > 1:
+            raise PolyhedralError(
+                f"schedule expr {e} of {stmt.name} is not a loop-dim permutation"
+            )
+    if sorted(dims) != sorted(stmt.loop_dims):
+        raise PolyhedralError(f"schedule of {stmt.name} does not cover its loop dims")
+    return tuple(dims)
+
+
+def build_loop_ast(prog: PolyProgram) -> LoopAst:
+    """Generate the loop AST for all statements in schedule order."""
+    ast = LoopAst()
+    for stmt in prog.statements_in_schedule_order():
+        dims = scheduled_loop_dims(prog, stmt)
+        loops = []
+        for d in dims:
+            lo, hi = stmt.domain.dim_bounds(d)
+            if lo is None or hi is None:
+                raise PolyhedralError(f"unbounded loop dim {d} in {stmt.name}")
+            loops.append(LoopDim(d, lo, hi))
+        red = set(stmt.reduction_dims)
+        n_red = len(red)
+        acc_style = n_red > 0 and all(d in red for d in dims[len(dims) - n_red :])
+        ast.stages.append(ComputeNode(stmt, tuple(loops), acc_style, n_red))
+    return ast
+
+
+def kernel_trip_counts(ast: LoopAst) -> List[Tuple[str, int]]:
+    """(statement, total trip count) per stage — the HLS latency input."""
+    return [(c.stmt.name, c.total_trip_count) for c in ast.stages]

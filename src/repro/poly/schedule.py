@@ -1,0 +1,258 @@
+"""Polyhedral statements and schedules (Sec. IV-B/IV-C).
+
+Every IR assignment is promoted to a *statement* whose instances range over
+an iteration domain.  Contractions carry an **inner domain** that includes
+the reduction indices (the paper "constructs an inner operand map" and uses
+"inner domain maps to lower reductions into schedule space"); entry-wise
+statements iterate only over output indices.
+
+A schedule maps statement instances into an anonymous integer tuple space
+ordered lexicographically.  The **reference schedule** executes statements
+in program order, iterating output dims outermost and reduction dims
+innermost:
+
+    S_k : stmt_k[d...] -> [k, d..., 0-padding]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PolyhedralError
+from repro.layout import Layout, default_layouts
+from repro.poly.aff import AffExpr, AffTuple
+from repro.poly.iset import BasicSet
+from repro.poly.space import Space, anonymous
+from repro.teil.ops import Contraction, Ewise
+from repro.teil.program import Function
+from repro.teil.types import TensorKind
+
+
+@dataclass(frozen=True)
+class Access:
+    """One tensor access: ``tensor[fn(loop dims)]``."""
+
+    tensor: str
+    fn: AffTuple  # loop dims -> tensor index space
+
+    def __str__(self) -> str:
+        return f"{self.tensor}[{', '.join(str(e) for e in self.fn.exprs)}]"
+
+
+@dataclass(frozen=True)
+class PolyStatement:
+    """A statement with iteration domain, write access, and read accesses."""
+
+    name: str
+    index: int                      # position in the original program
+    target: str
+    loop_dims: Tuple[str, ...]      # output dims first, then reduction dims
+    out_rank: int                   # number of output dims
+    domain: BasicSet                # over loop_dims (the inner domain)
+    write: Access
+    reads: Tuple[Access, ...]
+    kind: str                       # 'contract' | 'ewise:*' | 'ewise:+' ...
+
+    @property
+    def reduction_dims(self) -> Tuple[str, ...]:
+        return self.loop_dims[self.out_rank :]
+
+    @property
+    def is_reduction(self) -> bool:
+        return self.out_rank < len(self.loop_dims)
+
+    @property
+    def space(self) -> Space:
+        return self.domain.space
+
+    def operand_tensors(self) -> Tuple[str, ...]:
+        return tuple(r.tensor for r in self.reads)
+
+    def __str__(self) -> str:
+        reads = ", ".join(str(r) for r in self.reads)
+        return f"{self.name}: {self.write} <- {self.kind}({reads}) over {self.loop_dims}"
+
+
+@dataclass
+class PolyProgram:
+    """Statements plus a schedule into a common schedule space."""
+
+    function: Function
+    statements: List[PolyStatement]
+    schedules: Dict[str, AffTuple]  # statement name -> loop dims -> sched space
+    sched_rank: int
+    layouts: Dict[str, Layout] = field(default_factory=dict)
+
+    def statement(self, name: str) -> PolyStatement:
+        for s in self.statements:
+            if s.name == name:
+                return s
+        raise PolyhedralError(f"no statement {name!r}")
+
+    def writers_of(self, tensor: str) -> List[PolyStatement]:
+        return [s for s in self.statements if s.write.tensor == tensor]
+
+    def readers_of(self, tensor: str) -> List[PolyStatement]:
+        return [s for s in self.statements if tensor in s.operand_tensors()]
+
+    def schedule_of(self, stmt: PolyStatement) -> AffTuple:
+        return self.schedules[stmt.name]
+
+    def stage_of(self, stmt: PolyStatement) -> int:
+        """The leading (constant) schedule coordinate of a statement."""
+        lead = self.schedules[stmt.name].exprs[0]
+        if not lead.is_constant:
+            raise PolyhedralError(f"statement {stmt.name} has non-constant stage")
+        return lead.const
+
+    def statements_in_schedule_order(self) -> List[PolyStatement]:
+        return sorted(self.statements, key=self.stage_of)
+
+    def validate(self) -> "PolyProgram":
+        stages = set()
+        for s in self.statements:
+            sched = self.schedules.get(s.name)
+            if sched is None:
+                raise PolyhedralError(f"statement {s.name} has no schedule")
+            if sched.domain.dims != s.loop_dims:
+                raise PolyhedralError(f"schedule domain mismatch for {s.name}")
+            if sched.n_out != self.sched_rank:
+                raise PolyhedralError(f"schedule rank mismatch for {s.name}")
+            stages.add(self.stage_of(s))
+        if len(stages) != len(self.statements):
+            raise PolyhedralError("statements share a schedule stage")
+        return self
+
+
+def _operand_index_exprs(
+    indices: Sequence[str], dims: Sequence[str]
+) -> Tuple[AffExpr, ...]:
+    dimset = set(dims)
+    out = []
+    for i in indices:
+        if i not in dimset:
+            raise PolyhedralError(f"operand index {i!r} not a loop dim")
+        out.append(AffExpr.var(i))
+    return tuple(out)
+
+
+def build_statements(fn: Function) -> List[PolyStatement]:
+    """Promote every IR assignment to a polyhedral statement (Sec. IV-C)."""
+    shapes = fn.shapes()
+    out: List[PolyStatement] = []
+    for k, stmt in enumerate(fn.statements):
+        name = f"s{k}"
+        op = stmt.op
+        if isinstance(op, Contraction):
+            extents = op.index_extents(shapes)
+            loop_dims = tuple(op.output_indices) + tuple(op.reduction_indices)
+            out_rank = len(op.output_indices)
+            dom_space = Space(name, loop_dims)
+            domain = BasicSet.from_shape(dom_space, tuple(extents[i] for i in loop_dims))
+            tgt_space = Space(stmt.target, tuple(f"d{j}" for j in range(out_rank)))
+            write = Access(
+                stmt.target,
+                AffTuple(dom_space, _operand_index_exprs(op.output_indices, loop_dims), tgt_space),
+            )
+            reads = tuple(
+                Access(
+                    o,
+                    AffTuple(
+                        dom_space,
+                        _operand_index_exprs(idx, loop_dims),
+                        Space(o, tuple(f"d{j}" for j in range(len(idx)))),
+                    ),
+                )
+                for o, idx in zip(op.operands, op.operand_indices)
+            )
+            out.append(
+                PolyStatement(name, k, stmt.target, loop_dims, out_rank, domain, write, reads, "contract")
+            )
+        elif isinstance(op, Ewise):
+            shape = op.output_shape(shapes)
+            loop_dims = tuple(f"e{j}" for j in range(len(shape)))
+            dom_space = Space(name, loop_dims)
+            domain = BasicSet.from_shape(dom_space, shape)
+            ident = _operand_index_exprs(loop_dims, loop_dims)
+            mk_space = lambda t: Space(t, tuple(f"d{j}" for j in range(len(shape))))
+            write = Access(stmt.target, AffTuple(dom_space, ident, mk_space(stmt.target)))
+            reads = tuple(
+                Access(o, AffTuple(dom_space, ident, mk_space(o))) for o in (op.lhs, op.rhs)
+            )
+            out.append(
+                PolyStatement(
+                    name, k, stmt.target, loop_dims, len(shape), domain, write, reads,
+                    f"ewise:{op.kind.value}",
+                )
+            )
+        else:  # pragma: no cover
+            raise PolyhedralError(f"unknown op {type(op).__name__}")
+    return out
+
+
+def reference_schedule(
+    fn: Function, layouts: Optional[Dict[str, Layout]] = None
+) -> PolyProgram:
+    """Construct the reference schedule (program order, loops in-order)."""
+    stmts = build_statements(fn)
+    max_depth = max((len(s.loop_dims) for s in stmts), default=0)
+    rank = 1 + max_depth
+    sched_space = anonymous(rank)
+    schedules: Dict[str, AffTuple] = {}
+    for k, s in enumerate(stmts):
+        exprs: List[AffExpr] = [AffExpr.constant(k)]
+        exprs += [AffExpr.var(d) for d in s.loop_dims]
+        exprs += [AffExpr.constant(0)] * (rank - 1 - len(s.loop_dims))
+        schedules[s.name] = AffTuple(s.space, tuple(exprs), sched_space)
+    if layouts is None:
+        layouts = default_layouts(fn.shapes())
+    return PolyProgram(fn, stmts, schedules, rank, layouts).validate()
+
+
+def with_statement_order(prog: PolyProgram, order: Sequence[str]) -> PolyProgram:
+    """A copy of the program with statements re-staged in the given order.
+
+    Loop dims keep their relative positions; only the leading stage constant
+    changes.  Legality is the caller's responsibility (see dataflow checks).
+    """
+    if sorted(order) != sorted(s.name for s in prog.statements):
+        raise PolyhedralError("order must be a permutation of statement names")
+    schedules: Dict[str, AffTuple] = {}
+    for new_stage, name in enumerate(order):
+        old = prog.schedules[name]
+        exprs = (AffExpr.constant(new_stage),) + old.exprs[1:]
+        schedules[name] = AffTuple(old.domain, exprs, old.target)
+    return PolyProgram(
+        prog.function, prog.statements, schedules, prog.sched_rank, prog.layouts
+    ).validate()
+
+
+def with_loop_permutation(
+    prog: PolyProgram, stmt_name: str, perm: Sequence[int]
+) -> PolyProgram:
+    """A copy with one statement's loop dims permuted in schedule space.
+
+    ``perm[j]`` gives the loop-dim index placed at schedule position ``j+1``.
+    Output/reduction roles are unchanged; only the traversal order differs.
+    """
+    s = prog.statement(stmt_name)
+    nd = len(s.loop_dims)
+    if sorted(perm) != list(range(nd)):
+        raise PolyhedralError("invalid loop permutation")
+    old = prog.schedules[stmt_name]
+    exprs = [old.exprs[0]]
+    exprs += [AffExpr.var(s.loop_dims[p]) for p in perm]
+    exprs += [AffExpr.constant(0)] * (prog.sched_rank - 1 - nd)
+    schedules = dict(prog.schedules)
+    schedules[stmt_name] = AffTuple(old.domain, tuple(exprs), old.target)
+    return PolyProgram(
+        prog.function, prog.statements, schedules, prog.sched_rank, prog.layouts
+    ).validate()
+
+
+def virtual_boundary_stages(prog: PolyProgram) -> Tuple[int, int]:
+    """Schedule stages of the virtual ``first``/``last`` statements that model
+    host writes to inputs and reads from outputs (Sec. IV-F)."""
+    stages = [prog.stage_of(s) for s in prog.statements]
+    return (min(stages) - 1, max(stages) + 1)

@@ -1,0 +1,56 @@
+"""Named tuple spaces.
+
+A :class:`Space` identifies an index tuple space like ``t[i, j, k]`` from the
+paper's Sec. IV-B: a tuple name (the tensor/statement it indexes) plus an
+ordered list of dimension names.  Scalars are 0-dimensional spaces with
+exactly one valid (empty) index tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from repro.errors import PolyhedralError
+
+
+@dataclass(frozen=True)
+class Space:
+    """An n-dimensional named index space."""
+
+    name: str
+    dims: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(set(self.dims)) != len(self.dims):
+            raise PolyhedralError(f"duplicate dim names in space {self.name}: {self.dims}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def dim_index(self, dim: str) -> int:
+        try:
+            return self.dims.index(dim)
+        except ValueError:
+            raise PolyhedralError(f"space {self.name} has no dim {dim!r}") from None
+
+    def renamed(self, prefix: str) -> "Space":
+        """A copy with every dim name prefixed (for concatenation)."""
+        return Space(self.name, tuple(prefix + d for d in self.dims))
+
+    def concat(self, other: "Space", name: str | None = None) -> "Space":
+        """Concatenate two spaces; dim names must stay unique."""
+        return Space(name if name is not None else f"{self.name}*{other.name}",
+                     self.dims + other.dims)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.dims)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.name}[{', '.join(self.dims)}]"
+
+
+def anonymous(rank: int, stem: str = "s") -> Space:
+    """An anonymous (schedule) space of the given rank."""
+    return Space("", tuple(f"{stem}{i}" for i in range(rank)))

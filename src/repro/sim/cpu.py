@@ -1,0 +1,88 @@
+"""ARM Cortex-A53 cost model for the software baselines (Fig. 10).
+
+Two software variants run on the ZCU106's A53 @ 1.2 GHz:
+
+* **SW Ref** — the reference implementation of the operator (idiomatic C,
+  multi-dimensional arrays, register accumulation);
+* **SW HLS code** — the C code generated for HLS executed on the CPU,
+  which is slower due to flattened explicit addressing (paper: 0.90x).
+
+The per-operation CPIs live in :class:`~repro.system.platform_data.
+PlatformModel` and are calibrated to the paper's measured relations
+(HW k=1 = 0.69x SW Ref); the *structure* (MAC/load/store/loop counts) is
+derived from the IR, so other kernels scale accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import SimulationError
+from repro.system.platform_data import DEFAULT_PLATFORM, PlatformModel
+from repro.teil.ops import Contraction, Ewise, EwiseKind
+from repro.teil.program import Function
+from repro.utils import prod
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """A CPU with a clock and the platform's calibrated CPIs."""
+
+    mhz: float = 1_200.0
+    platform: PlatformModel = DEFAULT_PLATFORM
+
+    @property
+    def hz(self) -> float:
+        return self.mhz * 1e6
+
+
+def _statement_cycles(
+    stmt, shapes: Dict[str, Tuple[int, ...]], p: PlatformModel, flat_addressing: bool
+) -> float:
+    op = stmt.op
+    if isinstance(op, Contraction):
+        extents = op.index_extents(shapes)
+        iters = prod(extents[i] for i in op.all_indices)
+        out_elems = prod(op.output_shape(shapes))
+        loads = len(op.operands)
+        per_iter = p.cpu_fma_cpi + loads * p.cpu_load_cpi + p.cpu_loop_cpi
+        if flat_addressing:
+            per_iter += (loads + 1) * p.cpu_addr_cpi_per_access
+        return iters * per_iter + out_elems * p.cpu_store_cpi
+    if isinstance(op, Ewise):
+        n = prod(op.output_shape(shapes))
+        op_cpi = p.cpu_mul_cpi if op.kind in (EwiseKind.MUL, EwiseKind.DIV) else p.cpu_fma_cpi
+        per_iter = op_cpi + 2 * p.cpu_load_cpi + p.cpu_store_cpi + p.cpu_loop_cpi
+        if flat_addressing:
+            per_iter += 3 * p.cpu_addr_cpi_per_access
+        return n * per_iter
+    raise SimulationError(f"unknown op {type(op).__name__}")
+
+
+def sw_ref_cycles_per_element(fn: Function, platform: PlatformModel = DEFAULT_PLATFORM) -> float:
+    """CPU cycles per element for the reference software implementation."""
+    shapes = fn.shapes()
+    return sum(_statement_cycles(s, shapes, platform, False) for s in fn.statements)
+
+
+def sw_hls_c_cycles_per_element(fn: Function, platform: PlatformModel = DEFAULT_PLATFORM) -> float:
+    """CPU cycles per element for the HLS-generated C run on the CPU."""
+    shapes = fn.shapes()
+    return sum(_statement_cycles(s, shapes, platform, True) for s in fn.statements)
+
+
+def simulate_software(
+    fn: Function,
+    n_elements: int,
+    cpu: CpuModel = CpuModel(),
+    variant: str = "ref",
+) -> float:
+    """Wall-clock seconds for a full software simulation of Ne elements."""
+    if variant == "ref":
+        per = sw_ref_cycles_per_element(fn, cpu.platform)
+    elif variant == "hls_c":
+        per = sw_hls_c_cycles_per_element(fn, cpu.platform)
+    else:
+        raise SimulationError(f"unknown software variant {variant!r}")
+    return n_elements * per / cpu.hz

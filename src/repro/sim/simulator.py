@@ -1,0 +1,198 @@
+"""Full-system performance simulation.
+
+The host main loop (Sec. V-B) per iteration over ``m`` elements:
+
+1. transfer input arrays for m elements to power-of-two aligned PLM bases,
+2. ``m/k`` rounds: broadcast start, k kernels execute, done interrupt,
+3. transfer m output arrays back.
+
+:func:`simulate_system` computes this analytically; the independent
+:func:`simulate_system_events` walks every transfer/round/interrupt as an
+explicit timeline event (used to cross-validate the analytic model), and
+:func:`run_functional` executes the data path with NumPy for end-to-end
+functional checks of multi-element batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.cpu import CpuModel, simulate_software
+from repro.system.host import HostModel
+from repro.system.integration import SystemDesign
+from repro.teil.interp import interpret
+from repro.teil.program import Function
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Timing breakdown of one full simulation (Ne elements)."""
+
+    k: int
+    m: int
+    n_elements: int
+    clock_hz: float
+    compute_cycles: int
+    transfer_cycles: int
+    control_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.transfer_cycles + self.control_cycles
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total_cycles / self.clock_hz
+
+    @property
+    def accelerator_seconds(self) -> float:
+        """Kernel execution + control only (the paper's 'Accelerator' series
+        in Fig. 9 excludes data transfers)."""
+        return (self.compute_cycles + self.control_cycles) / self.clock_hz
+
+    def speedup_vs(self, other: "SimulationResult") -> float:
+        return other.total_seconds / self.total_seconds
+
+    def accelerator_speedup_vs(self, other: "SimulationResult") -> float:
+        return other.accelerator_seconds / self.accelerator_seconds
+
+    def __str__(self) -> str:
+        return (
+            f"k={self.k} m={self.m} Ne={self.n_elements}: "
+            f"{self.total_seconds * 1e3:.2f} ms total "
+            f"(compute {self.compute_cycles}, transfer {self.transfer_cycles}, "
+            f"control {self.control_cycles} cycles)"
+        )
+
+
+def simulate_system(
+    design: SystemDesign, n_elements: int, *, overlap_transfers: bool = False
+) -> SimulationResult:
+    """Analytic end-to-end simulation.
+
+    ``overlap_transfers=True`` models the paper's future-work "better data
+    transfer strategies": with ``batch >= 2``, the integration logic uses
+    the PLMs' system-side port to drain/fill the *idle* half of the PLM
+    sets while the accelerators work on the other half, so per-round
+    transfers hide behind compute.  Requires m >= 2k; with m = k there is
+    no idle PLM set and the strategy degenerates to the serial one.
+    """
+    host = HostModel(n_elements, design.k, design.m)
+    p = design.platform
+    per_round_compute = design.hls.latency_cycles
+    per_round_control = p.control_cycles_per_round(design.k)
+    static = p.transfer_cycles(design.static_bytes)
+
+    if overlap_transfers and design.batch >= 2:
+        # software-pipelined rounds over k elements each: fill the first
+        # k-element group, then each round's transfers overlap the next
+        # round's compute; drain the last group's results.
+        in_k = p.transfer_cycles(design.k * design.transfer_bytes_in_per_element)
+        out_k = p.transfer_cycles(design.k * design.transfer_bytes_out_per_element)
+        rounds = host.total_rounds
+        busy = per_round_compute + per_round_control
+        steady = max(busy, in_k + out_k)
+        compute = rounds * per_round_compute
+        control = rounds * per_round_control
+        # transfers not hidden behind compute: prologue + epilogue + the
+        # per-round excess when transfers are longer than compute
+        transfer = static + in_k + out_k + max(0, rounds - 1) * (steady - busy)
+        return SimulationResult(
+            design.k, design.m, n_elements, design.clock_hz, compute, transfer, control
+        )
+
+    in_bytes = design.m * design.transfer_bytes_in_per_element
+    out_bytes = design.m * design.transfer_bytes_out_per_element
+    per_iter_transfer = p.transfer_cycles(in_bytes) + p.transfer_cycles(out_bytes)
+    transfer = host.main_iterations * per_iter_transfer + static
+    compute = host.total_rounds * per_round_compute
+    control = host.total_rounds * per_round_control
+    return SimulationResult(
+        design.k,
+        design.m,
+        n_elements,
+        design.clock_hz,
+        compute,
+        transfer,
+        control,
+    )
+
+
+def simulate_system_events(design: SystemDesign, n_elements: int) -> SimulationResult:
+    """Event-walking simulation: one timeline entry per transfer/round.
+
+    Independent of the closed-form expressions above (explicit loops over
+    iterations and rounds); must agree exactly with
+    :func:`simulate_system` — property-tested.
+    """
+    host = HostModel(n_elements, design.k, design.m)
+    p = design.platform
+    now = 0
+    compute = transfer = control = 0
+    t = p.transfer_cycles(design.static_bytes)
+    now += t
+    transfer += t
+    for _ in range(host.main_iterations):
+        t_in = p.transfer_cycles(design.m * design.transfer_bytes_in_per_element)
+        now += t_in
+        transfer += t_in
+        for _ in range(host.rounds_per_iteration):
+            now += p.irq_cycles_per_round
+            control += p.irq_cycles_per_round
+            # k accelerators run concurrently: one kernel latency per round
+            now += design.hls.latency_cycles
+            compute += design.hls.latency_cycles
+            status = design.k * p.status_cycles_per_acc
+            now += status
+            control += status
+        t_out = p.transfer_cycles(design.m * design.transfer_bytes_out_per_element)
+        now += t_out
+        transfer += t_out
+    assert now == compute + transfer + control
+    return SimulationResult(
+        design.k,
+        design.m,
+        n_elements,
+        design.clock_hz,
+        compute,
+        transfer,
+        control,
+    )
+
+
+def run_functional(
+    fn: Function,
+    elements: Dict[str, np.ndarray],
+    static_inputs: Dict[str, np.ndarray],
+    element_inputs: List[str],
+) -> Dict[str, np.ndarray]:
+    """Execute the kernel functionally over a batch of elements.
+
+    ``elements[name]`` has shape ``(Ne, *tensor_shape)`` for each streamed
+    input; static operands are shared.  Returns stacked outputs.
+    """
+    names = [d.name for d in fn.outputs()]
+    ne_values = {elements[n].shape[0] for n in element_inputs}
+    if len(ne_values) != 1:
+        raise SimulationError(f"inconsistent element counts: {ne_values}")
+    ne = ne_values.pop()
+    outs: Dict[str, List[np.ndarray]] = {n: [] for n in names}
+    for e in range(ne):
+        inputs = dict(static_inputs)
+        for n in element_inputs:
+            inputs[n] = elements[n][e]
+        result = interpret(fn, inputs)
+        for n in names:
+            outs[n].append(result[n])
+    return {n: np.stack(v) for n, v in outs.items()}
+
+
+def software_baseline_seconds(
+    fn: Function, n_elements: int, variant: str = "ref", cpu: Optional[CpuModel] = None
+) -> float:
+    """Convenience wrapper for Fig. 10's software rows."""
+    return simulate_software(fn, n_elements, cpu or CpuModel(), variant)

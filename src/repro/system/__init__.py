@@ -1,0 +1,33 @@
+"""System generation: replication, integration logic, HDL/host artifacts.
+
+Implements Sec. V-B: compute how many accelerator (k) and memory (m)
+replicas fit the FPGA ( ``[H]*k + [M]*m <= [A]`` with m a power-of-two
+multiple of k), generate the AXI-lite control peripheral, the memory
+integration logic (Fig. 7 variants), the system HDL and the host code.
+"""
+
+from repro.system.board import Board, ZCU106
+from repro.system.platform_data import PlatformModel, DEFAULT_PLATFORM
+from repro.system.replicate import (
+    ReplicationChoice,
+    feasible_configurations,
+    max_parallel_config,
+)
+from repro.system.integration import SystemDesign, build_system
+from repro.system.hdl import emit_system_hdl
+from repro.system.host import emit_host_code, HostModel
+
+__all__ = [
+    "Board",
+    "ZCU106",
+    "PlatformModel",
+    "DEFAULT_PLATFORM",
+    "ReplicationChoice",
+    "feasible_configurations",
+    "max_parallel_config",
+    "SystemDesign",
+    "build_system",
+    "emit_system_hdl",
+    "emit_host_code",
+    "HostModel",
+]

@@ -1,0 +1,66 @@
+"""FPGA board descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Board:
+    """Resource capacities of one FPGA board.
+
+    ``lut``/``ff``/``dsp``/``bram36`` are the programmable-logic totals the
+    paper quotes for the target device.
+    """
+
+    name: str
+    part: str
+    lut: int
+    ff: int
+    dsp: int
+    bram36: int
+    cpu: str = ""
+    cpu_mhz: float = 0.0
+    fabric_mhz: float = 200.0
+
+    def utilization(self, lut: int, ff: int, dsp: int, bram: int) -> dict:
+        return {
+            "lut": lut / self.lut,
+            "ff": ff / self.ff,
+            "dsp": dsp / self.dsp,
+            "bram": bram / self.bram36,
+        }
+
+    def fits(self, lut: int, ff: int, dsp: int, bram: int) -> bool:
+        return (
+            lut <= self.lut and ff <= self.ff and dsp <= self.dsp and bram <= self.bram36
+        )
+
+
+#: Xilinx Zynq UltraScale+ MPSoC ZCU106 (xczu7ev-ffvc1156-2): "504K system
+#: logic cells (around 230K LUTs and 460K FFs) and 312 block RAMs", with a
+#: quad-core ARM Cortex-A53 configured at 1.2 GHz (Sec. VI).
+ZCU106 = Board(
+    name="ZCU106",
+    part="xczu7ev-ffvc1156-2",
+    lut=230_400,
+    ff=460_800,
+    dsp=1_728,
+    bram36=312,
+    cpu="ARM Cortex-A53",
+    cpu_mhz=1_200.0,
+    fabric_mhz=200.0,
+)
+
+#: A larger data-center card (future-work scaling target, Sec. VIII).
+ALVEO_U280 = Board(
+    name="Alveo U280",
+    part="xcu280-fsvh2892-2L",
+    lut=1_304_000,
+    ff=2_607_000,
+    dsp=9_024,
+    bram36=2_016,
+    cpu="host x86 via PCIe",
+    cpu_mhz=0.0,
+    fabric_mhz=300.0,
+)

@@ -1,0 +1,107 @@
+"""Cluster scaling: multiple FPGA boards (the paper's future work,
+Sec. VIII: "scaling-up to clusters of larger FPGA boards").
+
+The CFD simulation is embarrassingly parallel across elements, so a
+cluster partitions the Ne elements over boards; each board runs its own
+replicated system.  The host-side distribution network (e.g. 10/100 GbE
+or PCIe fabric) adds a per-board dispatch cost and a shared-bandwidth
+constraint for the element data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SimulationError
+from repro.sim.simulator import SimulationResult, simulate_system
+from repro.system.integration import SystemDesign
+from repro.utils import ceil_div
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Host-to-board distribution network.
+
+    Default: 100 GbE at 90 % goodput — the class of interconnect the
+    EVEREST data-center FPGA platforms target (cf. IBM cloudFPGA [39]).
+    """
+
+    bandwidth_bytes_per_s: float = 100e9 / 8 * 0.9
+    per_message_latency_s: float = 20e-6
+    messages_per_board: int = 2  # scatter inputs + gather outputs
+
+    def distribution_seconds(self, total_bytes: int, n_boards: int) -> float:
+        if n_boards <= 0:
+            raise SimulationError("n_boards must be positive")
+        return (
+            total_bytes / self.bandwidth_bytes_per_s
+            + n_boards * self.messages_per_board * self.per_message_latency_s
+        )
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Timing of a cluster run."""
+
+    n_boards: int
+    n_elements: int
+    board_seconds: float       # slowest board's on-board time
+    network_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.board_seconds + self.network_seconds
+
+    def speedup_vs(self, other: "ClusterResult") -> float:
+        return other.total_seconds / self.total_seconds
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_boards} boards x Ne={self.n_elements}: "
+            f"{self.total_seconds * 1e3:.2f} ms "
+            f"(board {self.board_seconds * 1e3:.2f}, "
+            f"network {self.network_seconds * 1e3:.2f})"
+        )
+
+
+def simulate_cluster(
+    design: SystemDesign,
+    n_elements: int,
+    n_boards: int,
+    network: NetworkModel = NetworkModel(),
+    *,
+    overlap_transfers: bool = False,
+) -> ClusterResult:
+    """Partition Ne elements over identical boards and simulate.
+
+    Elements are split as evenly as possible; the slowest board (the one
+    with the largest share) bounds the on-board time.  Host-side network
+    distribution is serialized with the board execution (conservative:
+    no network/compute overlap).
+    """
+    if n_boards < 1:
+        raise SimulationError("need at least one board")
+    share = ceil_div(n_elements, n_boards)
+    board = simulate_system(design, share, overlap_transfers=overlap_transfers)
+    per_element = (
+        design.transfer_bytes_in_per_element + design.transfer_bytes_out_per_element
+    )
+    net = network.distribution_seconds(n_elements * per_element, n_boards)
+    return ClusterResult(n_boards, n_elements, board.total_seconds, net)
+
+
+def scaling_series(
+    design: SystemDesign,
+    n_elements: int,
+    board_counts: List[int],
+    network: NetworkModel = NetworkModel(),
+    *,
+    overlap_transfers: bool = False,
+) -> List[ClusterResult]:
+    return [
+        simulate_cluster(
+            design, n_elements, nb, network, overlap_transfers=overlap_transfers
+        )
+        for nb in board_counts
+    ]

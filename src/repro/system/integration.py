@@ -1,0 +1,108 @@
+"""Full system design: accelerators + memory + control (Fig. 7).
+
+"We developed a tool to read the kernel and memory interfaces, the
+CFDlang metadata, and the board information to automatically create 1) the
+accelerator instances, 2) the logic to drive the data from the host to the
+different PLM units and vice versa, and 3) the system description ready
+for logic synthesis along with the corresponding host software."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SystemGenerationError
+from repro.hls.report import HlsReport
+from repro.mnemosyne.plm import MemorySubsystem
+from repro.system.board import Board, ZCU106
+from repro.system.platform_data import DEFAULT_PLATFORM, PlatformModel
+from repro.system.replicate import (
+    ReplicationChoice,
+    system_resources,
+    validate_configuration,
+)
+from repro.utils import ascii_table
+
+
+@dataclass
+class SystemDesign:
+    """One concrete FPGA system instance (k accelerators, m PLM sets)."""
+
+    board: Board
+    platform: PlatformModel
+    hls: HlsReport
+    memory: MemorySubsystem
+    k: int
+    m: int
+    transfer_bytes_in_per_element: int
+    transfer_bytes_out_per_element: int
+    static_bytes: int = 0  # one-time operand transfer (e.g. S)
+
+    def __post_init__(self) -> None:
+        validate_configuration(self.k, self.m)
+        r = self.resources
+        if not self.board.fits(r.lut, r.ff, r.dsp, r.bram):
+            raise SystemGenerationError(
+                f"configuration k={self.k} m={self.m} does not fit {self.board.name}: "
+                f"{r.lut} LUT, {r.ff} FF, {r.dsp} DSP, {r.bram} BRAM"
+            )
+
+    @property
+    def batch(self) -> int:
+        return self.m // self.k
+
+    @property
+    def resources(self) -> ReplicationChoice:
+        return system_resources(
+            self.hls.resources, self.memory, self.k, self.m, self.platform
+        )
+
+    @property
+    def clock_hz(self) -> float:
+        return self.hls.clock_mhz * 1e6
+
+    def utilization(self) -> Dict[str, float]:
+        r = self.resources
+        return self.board.utilization(r.lut, r.ff, r.dsp, r.bram)
+
+    def summary(self) -> str:
+        r = self.resources
+        util = self.utilization()
+        rows = [
+            ("LUT", r.lut, f"{util['lut'] * 100:.1f}%"),
+            ("FF", r.ff, f"{util['ff'] * 100:.1f}%"),
+            ("DSP", r.dsp, f"{util['dsp'] * 100:.1f}%"),
+            ("BRAM36", r.bram, f"{util['bram'] * 100:.1f}%"),
+        ]
+        head = (
+            f"system: {self.board.name}, k={self.k} accelerators, "
+            f"m={self.m} PLM sets (batch={self.batch}) @ {self.hls.clock_mhz:.0f} MHz"
+        )
+        return head + "\n" + ascii_table(["resource", "used", "util"], rows)
+
+
+def build_system(
+    hls: HlsReport,
+    memory: MemorySubsystem,
+    k: int,
+    m: int,
+    *,
+    board: Board = ZCU106,
+    platform: PlatformModel = DEFAULT_PLATFORM,
+    bytes_in_per_element: int,
+    bytes_out_per_element: int,
+    static_bytes: int = 0,
+) -> SystemDesign:
+    """Assemble and validate a system design."""
+    return SystemDesign(
+        board=board,
+        platform=platform,
+        hls=hls,
+        memory=memory,
+        k=k,
+        m=m,
+        transfer_bytes_in_per_element=bytes_in_per_element,
+        transfer_bytes_out_per_element=bytes_out_per_element,
+        static_bytes=static_bytes,
+    )

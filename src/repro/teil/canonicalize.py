@@ -1,0 +1,241 @@
+"""Canonicalization (step i of Fig. 4): contraction factorization.
+
+The compiler "can detect the independence of reduction dimensions in
+contraction expressions to exploit associativity", transforming e.g.
+
+    t = (S x S x S x u) contracted over 3 pairs          (O(p^6) MACs)
+
+into a chain of lower-rank contractions
+
+    t0 = S . u ;  t1 = S . t0 ;  t = S . t1              (O(p^4) MACs)
+
+The evaluation order is chosen by exact dynamic programming over operand
+subsets (optimal for the operand counts CFD kernels exhibit), falling back
+to a greedy pairwise heuristic for very wide products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.teil.ops import Contraction, Ewise
+from repro.teil.program import Function, Statement, copy_function
+from repro.teil.types import TensorKind
+from repro.utils import prod
+
+_DP_LIMIT = 10  # exact DP up to 2^10 subsets; greedy beyond
+
+
+@dataclass
+class _Group:
+    """A subset of operands with its result indices (in appearance order)."""
+
+    mask: int
+    indices: Tuple[str, ...]
+    plan: "object"  # leaf: operand position (int); node: (left, right)
+
+
+def _union_ordered(*seqs: Sequence[str]) -> Tuple[str, ...]:
+    out: List[str] = []
+    for s in seqs:
+        for i in s:
+            if i not in out:
+                out.append(i)
+    return tuple(out)
+
+
+def contraction_plan(op: Contraction, extents: Dict[str, int]) -> Tuple[object, int]:
+    """Choose a pairwise evaluation order; returns (plan tree, total MACs).
+
+    A plan is either an operand position (leaf) or a nested pair
+    ``(left_plan, right_plan)``.
+    """
+    n = len(op.operands)
+    idx_sets = [set(ix) for ix in op.operand_indices]
+    out_set = set(op.output_indices)
+    full = (1 << n) - 1
+
+    def inside_indices(mask: int) -> set:
+        s: set = set()
+        for k in range(n):
+            if mask & (1 << k):
+                s |= idx_sets[k]
+        return s
+
+    def result_indices(mask: int) -> Tuple[str, ...]:
+        inside = inside_indices(mask)
+        outside: set = set(out_set)
+        for k in range(n):
+            if not mask & (1 << k):
+                outside |= idx_sets[k]
+        keep = inside & outside if mask != full else inside & out_set
+        # deterministic order: appearance order over operands
+        ordered = _union_ordered(*(op.operand_indices[k] for k in range(n) if mask & (1 << k)))
+        return tuple(i for i in ordered if i in keep)
+
+    def pair_cost(m1: int, m2: int) -> int:
+        union = _union_ordered(result_indices(m1), result_indices(m2))
+        return prod(extents[i] for i in union)
+
+    if n <= 2:
+        plan = 0 if n == 1 else (0, 1)
+        cost = prod(extents[i] for i in op.all_indices) if n == 2 else 0
+        return plan, cost
+
+    if n <= _DP_LIMIT:
+        best: Dict[int, Tuple[int, object]] = {}
+        for k in range(n):
+            best[1 << k] = (0, k)
+        masks = sorted(
+            (m for m in range(1, full + 1) if m.bit_count() >= 2),
+            key=lambda m: m.bit_count(),
+        )
+        for mask in masks:
+            cand: Optional[Tuple[int, object]] = None
+            s = (mask - 1) & mask
+            while s:
+                t = mask ^ s
+                if s < t:  # avoid symmetric duplicates
+                    if s in best and t in best:
+                        c = best[s][0] + best[t][0] + pair_cost(s, t)
+                        if cand is None or c < cand[0]:
+                            cand = (c, (best[s][1], best[t][1]))
+                s = (s - 1) & mask
+            if cand is None:
+                raise IRError("contraction DP failed to split a subset")
+            best[mask] = cand
+        return best[full][1], best[full][0]
+
+    # Greedy: repeatedly merge the cheapest pair.
+    groups: List[_Group] = [
+        _Group(1 << k, result_indices(1 << k), k) for k in range(n)
+    ]
+    total = 0
+    while len(groups) > 1:
+        best_pair = None
+        for a in range(len(groups)):
+            for b in range(a + 1, len(groups)):
+                merged = groups[a].mask | groups[b].mask
+                c = prod(
+                    extents[i]
+                    for i in _union_ordered(groups[a].indices, groups[b].indices)
+                )
+                if best_pair is None or c < best_pair[0]:
+                    best_pair = (c, a, b, merged)
+        assert best_pair is not None
+        c, a, b, merged = best_pair
+        total += c
+        g = _Group(merged, result_indices(merged), (groups[a].plan, groups[b].plan))
+        groups = [x for i, x in enumerate(groups) if i not in (a, b)] + [g]
+    return groups[0].plan, total
+
+
+def _emit_plan(
+    fn: Function,
+    op: Contraction,
+    plan: object,
+    target: str,
+    extents: Dict[str, int],
+) -> str:
+    """Emit binary contraction statements for a plan; returns result tensor."""
+    n = len(op.operands)
+    idx_sets = [set(ix) for ix in op.operand_indices]
+    out_set = set(op.output_indices)
+
+    def rec(node: object) -> Tuple[str, Tuple[str, ...], int]:
+        if isinstance(node, int):
+            return op.operands[node], op.operand_indices[node], 1 << node
+        left, right = node  # type: ignore[misc]
+        lname, lidx, lmask = rec(left)
+        rname, ridx, rmask = rec(right)
+        mask = lmask | rmask
+        outside: set = set(out_set)
+        for k in range(n):
+            if not mask & (1 << k):
+                outside |= idx_sets[k]
+        inside = set(lidx) | set(ridx)
+        if mask == (1 << n) - 1:
+            keep_set = inside & out_set
+            result_idx = tuple(i for i in op.output_indices if i in keep_set)
+        else:
+            keep_set = inside & outside
+            result_idx = tuple(i for i in _union_ordered(lidx, ridx) if i in keep_set)
+        sub = Contraction((lname, rname), (tuple(lidx), tuple(ridx)), result_idx)
+        if mask == (1 << n) - 1:
+            fn.statements.append(Statement(target, sub))
+            return target, result_idx, mask
+        tname = fn.fresh_name("t")
+        shape = tuple(extents[i] for i in result_idx)
+        fn.declare(tname, shape, TensorKind.TRANSIENT)
+        fn.statements.append(Statement(tname, sub))
+        return tname, result_idx, mask
+
+    name, _, _ = rec(plan)
+    return name
+
+
+def factorize_contractions(fn: Function) -> Function:
+    """Rewrite every n-ary contraction (n >= 3) into an optimal binary chain."""
+    out = copy_function(fn)
+    out.statements = []
+    shapes = fn.shapes()
+    for s in fn.statements:
+        if isinstance(s.op, Contraction) and len(s.op.operands) >= 3:
+            extents = s.op.index_extents(shapes)
+            plan, _ = contraction_plan(s.op, extents)
+            _emit_plan(out, s.op, plan, s.target, extents)
+        else:
+            out.statements.append(s)
+    return out.validate()
+
+
+def propagate_copies(fn: Function) -> Function:
+    """Remove transient identity copies by renaming their uses."""
+    out = copy_function(fn)
+    replace: Dict[str, str] = {}
+    kept: List[Statement] = []
+    for s in out.statements:
+        op = s.op
+        if isinstance(op, Contraction):
+            ops = tuple(replace.get(o, o) for o in op.operands)
+            op = Contraction(ops, op.operand_indices, op.output_indices)
+        elif isinstance(op, Ewise):
+            op = Ewise(op.kind, replace.get(op.lhs, op.lhs), replace.get(op.rhs, op.rhs))
+        if (
+            isinstance(op, Contraction)
+            and op.is_copy
+            and op.operand_indices[0] == op.output_indices
+            and out.decls[s.target].kind is TensorKind.TRANSIENT
+        ):
+            replace[s.target] = op.operands[0]
+            continue
+        kept.append(Statement(s.target, op))
+    out.statements = kept
+    return eliminate_dead(out)
+
+
+def eliminate_dead(fn: Function) -> Function:
+    """Drop statements defining transients that are never read."""
+    out = copy_function(fn)
+    changed = True
+    while changed:
+        changed = False
+        dead = set(out.dead_tensors())
+        if dead:
+            out.statements = [s for s in out.statements if s.target not in dead]
+            out.decls = {n: d for n, d in out.decls.items() if n not in dead}
+            changed = True
+    return out
+
+
+def canonicalize(fn: Function, *, factorize: bool = True) -> Function:
+    """Step (i): copy propagation, factorization, dead-code elimination.
+
+    ``factorize=False`` keeps n-ary contractions intact (ablation mode).
+    """
+    out = propagate_copies(fn)
+    if factorize:
+        out = factorize_contractions(out)
+    return eliminate_dead(out).validate()

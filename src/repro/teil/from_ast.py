@@ -1,0 +1,130 @@
+"""Lowering from the CFDlang AST to the tensor IR (pseudo-SSA).
+
+Each AST assignment becomes one or more IR statements; compound
+subexpressions get transient tensors.  ``Contract(Outer(...), pairs)``
+lowers to a *single* generalized contraction so the factorization pass can
+choose the evaluation order (the paper: "the program does not determine the
+order of operations").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cfdlang import ast as A
+from repro.cfdlang.sema import analyze
+from repro.errors import IRError
+from repro.teil.ops import Contraction, Ewise, EwiseKind
+from repro.teil.program import Function, Statement
+from repro.teil.types import TensorKind
+
+_EWISE_KINDS = {
+    A.Hadamard: EwiseKind.MUL,
+    A.Div: EwiseKind.DIV,
+    A.Add: EwiseKind.ADD,
+    A.Sub: EwiseKind.SUB,
+}
+
+
+class _Lowerer:
+    def __init__(self, prog: A.Program, name: str) -> None:
+        self.prog = prog
+        self.fn = Function(name)
+        self.counter = 0
+
+    def fresh_index(self) -> str:
+        self.counter += 1
+        return f"i{self.counter - 1}"
+
+    def run(self) -> Function:
+        kind_map = {
+            A.VarKind.INPUT: TensorKind.INPUT,
+            A.VarKind.OUTPUT: TensorKind.OUTPUT,
+            A.VarKind.LOCAL: TensorKind.LOCAL,
+        }
+        for d in self.prog.decls:
+            self.fn.declare(d.name, d.shape, kind_map[d.kind])
+        for stmt in self.prog.stmts:
+            self.lower_assign(stmt)
+        return self.fn.validate()
+
+    # -- expression lowering -------------------------------------------------
+    def lower_assign(self, stmt: A.Assign) -> None:
+        self.lower_expr(stmt.value, target=stmt.target)
+
+    def _materialize(self, expr: A.Expr) -> str:
+        """Lower a subexpression into a transient tensor, return its name."""
+        if isinstance(expr, A.Ident):
+            return expr.name
+        if expr.shape is None:
+            raise IRError("expression not shape-annotated; run sema first")
+        name = self.fn.fresh_name("tmp")
+        self.fn.declare(name, expr.shape, TensorKind.TRANSIENT)
+        self.lower_expr(expr, target=name)
+        return name
+
+    def lower_expr(self, expr: A.Expr, target: str) -> None:
+        if isinstance(expr, A.Ident):
+            # copy statement: identity contraction
+            shape = self.fn.decls[expr.name].shape
+            idx = tuple(self.fresh_index() for _ in shape)
+            self.fn.statements.append(
+                Statement(target, Contraction((expr.name,), (idx,), idx))
+            )
+            return
+        if isinstance(expr, tuple(_EWISE_KINDS)):
+            lhs = self._materialize(expr.lhs)  # type: ignore[attr-defined]
+            rhs = self._materialize(expr.rhs)  # type: ignore[attr-defined]
+            kind = _EWISE_KINDS[type(expr)]
+            self.fn.statements.append(Statement(target, Ewise(kind, lhs, rhs)))
+            return
+        if isinstance(expr, A.Outer):
+            names, indices = self._lower_factors(expr.factors)
+            flat = tuple(i for idx in indices for i in idx)
+            self.fn.statements.append(
+                Statement(target, Contraction(tuple(names), tuple(indices), flat))
+            )
+            return
+        if isinstance(expr, A.Contract):
+            operand = expr.operand
+            factors = operand.factors if isinstance(operand, A.Outer) else [operand]
+            names, indices = self._lower_factors(factors)
+            flat: List[str] = [i for idx in indices for i in idx]
+            # unify paired dims: both positions get the same index name
+            for a, b in expr.pairs:
+                if not (0 <= a < len(flat) and 0 <= b < len(flat)):
+                    raise IRError(f"contraction pair ({a},{b}) out of range")
+                flat[b] = flat[a]
+            contracted = {a for pair in expr.pairs for a in pair}
+            out_idx = tuple(flat[i] for i in range(len(flat)) if i not in contracted)
+            # rebuild per-operand index tuples from the unified flat list
+            new_indices: List[Tuple[str, ...]] = []
+            pos = 0
+            for idx in indices:
+                new_indices.append(tuple(flat[pos : pos + len(idx)]))
+                pos += len(idx)
+            self.fn.statements.append(
+                Statement(target, Contraction(tuple(names), tuple(new_indices), out_idx))
+            )
+            return
+        raise IRError(f"cannot lower expression node {type(expr).__name__}")
+
+    def _lower_factors(self, factors) -> Tuple[List[str], List[Tuple[str, ...]]]:
+        names: List[str] = []
+        indices: List[Tuple[str, ...]] = []
+        for f in factors:
+            name = self._materialize(f)
+            shape = self.fn.decls[name].shape
+            names.append(name)
+            indices.append(tuple(self.fresh_index() for _ in shape))
+        return names, indices
+
+
+def lower_program(prog: A.Program, name: str = "kernel", *, analyzed: bool = False) -> Function:
+    """Lower a CFDlang program to the tensor IR.
+
+    Runs semantic analysis first unless ``analyzed=True``.
+    """
+    if not analyzed:
+        analyze(prog)
+    return _Lowerer(prog, name).run()

@@ -1,0 +1,76 @@
+"""Reference interpreter: execute the tensor IR with NumPy.
+
+This is the functional golden model: every later stage (generated C code,
+generated Python, the HLS C-simulation) is checked against it, and it in
+turn is checked against hand-written einsum formulations of the operators.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.teil.ops import Contraction, Ewise, EwiseKind
+from repro.teil.program import Function
+
+
+def _einsum_spec(op: Contraction) -> str:
+    letters: Dict[str, str] = {}
+    pool = iter(string.ascii_lowercase + string.ascii_uppercase)
+
+    def letter(idx: str) -> str:
+        if idx not in letters:
+            try:
+                letters[idx] = next(pool)
+            except StopIteration:  # pragma: no cover - >52 indices
+                raise IRError("too many distinct indices for einsum") from None
+        return letters[idx]
+
+    ins = ",".join("".join(letter(i) for i in idx) for idx in op.operand_indices)
+    outs = "".join(letter(i) for i in op.output_indices)
+    return f"{ins}->{outs}"
+
+
+def eval_contraction(op: Contraction, env: Mapping[str, np.ndarray]) -> np.ndarray:
+    return np.einsum(_einsum_spec(op), *[env[o] for o in op.operands])
+
+
+def eval_ewise(op: Ewise, env: Mapping[str, np.ndarray]) -> np.ndarray:
+    a, b = env[op.lhs], env[op.rhs]
+    if op.kind is EwiseKind.MUL:
+        return a * b
+    if op.kind is EwiseKind.DIV:
+        return a / b
+    if op.kind is EwiseKind.ADD:
+        return a + b
+    if op.kind is EwiseKind.SUB:
+        return a - b
+    raise IRError(f"unknown ewise kind {op.kind}")
+
+
+def interpret(fn: Function, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Run a function; returns a dict of the output tensors.
+
+    Raises :class:`IRError` on missing/mis-shaped inputs.
+    """
+    env: Dict[str, np.ndarray] = {}
+    for d in fn.inputs():
+        if d.name not in inputs:
+            raise IRError(f"missing input tensor {d.name!r}")
+        arr = np.asarray(inputs[d.name], dtype=np.float64)
+        if arr.shape != d.shape:
+            raise IRError(
+                f"input {d.name!r} has shape {arr.shape}, expected {d.shape}"
+            )
+        env[d.name] = arr
+    for s in fn.statements:
+        if isinstance(s.op, Contraction):
+            env[s.target] = eval_contraction(s.op, env)
+        elif isinstance(s.op, Ewise):
+            env[s.target] = eval_ewise(s.op, env)
+        else:  # pragma: no cover
+            raise IRError(f"unknown op {type(s.op).__name__}")
+    return {d.name: env[d.name] for d in fn.outputs()}

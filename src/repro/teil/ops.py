@@ -1,0 +1,133 @@
+"""IR right-hand-side operations.
+
+Two operation families cover CFDlang (Sec. II-B):
+
+* :class:`Contraction` — generalized einsum: an outer product of operands
+  followed by summation over reduction indices.  With a single operand and
+  no reduction it degenerates to a (possibly transposing) copy; with several
+  operands and no reduction it is a pure outer product.
+* :class:`Ewise` — entry-wise binary operations (Hadamard ``*``, ``/``,
+  ``+``, ``-``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import IRError
+
+
+@dataclass(frozen=True)
+class Contraction:
+    """``target[out] = sum_{red} prod_k operand_k[idx_k]``.
+
+    ``operand_indices[k]`` names the index for each dim of operand ``k``;
+    ``output_indices`` lists the surviving indices in target-dim order.
+    Reduction indices are exactly those appearing in operands but not in the
+    output.  An index may appear in several operands (shared/contracted) and
+    extents must agree everywhere.
+    """
+
+    operands: Tuple[str, ...]
+    operand_indices: Tuple[Tuple[str, ...], ...]
+    output_indices: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) != len(self.operand_indices):
+            raise IRError("operand/indices arity mismatch")
+        seen = set()
+        for idx in self.operand_indices:
+            seen.update(idx)
+        for o in self.output_indices:
+            if o not in seen:
+                raise IRError(f"output index {o!r} not produced by any operand")
+        if len(set(self.output_indices)) != len(self.output_indices):
+            raise IRError("repeated output index")
+
+    @property
+    def reduction_indices(self) -> Tuple[str, ...]:
+        out = set(self.output_indices)
+        seen: List[str] = []
+        for idx in self.operand_indices:
+            for i in idx:
+                if i not in out and i not in seen:
+                    seen.append(i)
+        return tuple(seen)
+
+    @property
+    def all_indices(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for idx in self.operand_indices:
+            for i in idx:
+                if i not in seen:
+                    seen.append(i)
+        for i in self.output_indices:
+            if i not in seen:
+                seen.append(i)
+        return tuple(seen)
+
+    def index_extents(self, shapes: Dict[str, Tuple[int, ...]]) -> Dict[str, int]:
+        """Extent of each index, validated across operands."""
+        extents: Dict[str, int] = {}
+        for name, idx in zip(self.operands, self.operand_indices):
+            shape = shapes[name]
+            if len(shape) != len(idx):
+                raise IRError(
+                    f"operand {name!r} rank {len(shape)} != {len(idx)} indices"
+                )
+            for i, e in zip(idx, shape):
+                if extents.setdefault(i, e) != e:
+                    raise IRError(
+                        f"index {i!r} has conflicting extents {extents[i]} vs {e}"
+                    )
+        return extents
+
+    def output_shape(self, shapes: Dict[str, Tuple[int, ...]]) -> Tuple[int, ...]:
+        extents = self.index_extents(shapes)
+        return tuple(extents[i] for i in self.output_indices)
+
+    @property
+    def is_copy(self) -> bool:
+        return len(self.operands) == 1 and not self.reduction_indices
+
+    def __str__(self) -> str:
+        ops = ", ".join(
+            f"{n}[{','.join(ix)}]" for n, ix in zip(self.operands, self.operand_indices)
+        )
+        red = self.reduction_indices
+        prefix = f"sum_{{{','.join(red)}}} " if red else ""
+        return f"{prefix}{ops} -> [{','.join(self.output_indices)}]"
+
+
+class EwiseKind(enum.Enum):
+    MUL = "*"
+    DIV = "/"
+    ADD = "+"
+    SUB = "-"
+
+
+@dataclass(frozen=True)
+class Ewise:
+    """Entry-wise binary op over same-shape tensors."""
+
+    kind: EwiseKind
+    lhs: str
+    rhs: str
+
+    @property
+    def operands(self) -> Tuple[str, ...]:
+        return (self.lhs, self.rhs)
+
+    def output_shape(self, shapes: Dict[str, Tuple[int, ...]]) -> Tuple[int, ...]:
+        ls, rs = shapes[self.lhs], shapes[self.rhs]
+        if ls != rs:
+            raise IRError(f"entry-wise shapes differ: {ls} vs {rs}")
+        return ls
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.kind.value} {self.rhs}"
+
+
+Operation = Contraction | Ewise

@@ -1,0 +1,140 @@
+"""IR functions: declarations + single-assignment statement list."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import IRError
+from repro.teil.ops import Contraction, Ewise, Operation
+from repro.teil.types import TensorDecl, TensorKind
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``target = op`` in pseudo-SSA form (each target assigned once)."""
+
+    target: str
+    op: Operation
+
+    @property
+    def operands(self) -> Tuple[str, ...]:
+        return self.op.operands
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.op}"
+
+
+@dataclass
+class Function:
+    """A compiled CFDlang kernel: tensor decls and statements."""
+
+    name: str
+    decls: Dict[str, TensorDecl] = field(default_factory=dict)
+    statements: List[Statement] = field(default_factory=list)
+
+    # -- declaration helpers -------------------------------------------------
+    def declare(self, name: str, shape: Tuple[int, ...], kind: TensorKind) -> TensorDecl:
+        if name in self.decls:
+            raise IRError(f"duplicate tensor {name!r}")
+        d = TensorDecl(name, tuple(shape), kind)
+        self.decls[name] = d
+        return d
+
+    def fresh_name(self, stem: str = "t") -> str:
+        i = 0
+        while f"{stem}{i}" in self.decls:
+            i += 1
+        return f"{stem}{i}"
+
+    def shapes(self) -> Dict[str, Tuple[int, ...]]:
+        return {n: d.shape for n, d in self.decls.items()}
+
+    # -- views ------------------------------------------------------------------
+    def inputs(self) -> List[TensorDecl]:
+        return [d for d in self.decls.values() if d.kind is TensorKind.INPUT]
+
+    def outputs(self) -> List[TensorDecl]:
+        return [d for d in self.decls.values() if d.kind is TensorKind.OUTPUT]
+
+    def temporaries(self) -> List[TensorDecl]:
+        return [
+            d
+            for d in self.decls.values()
+            if d.kind in (TensorKind.LOCAL, TensorKind.TRANSIENT)
+        ]
+
+    def interface(self) -> List[TensorDecl]:
+        """Interface tensors in declaration order (inputs then outputs)."""
+        return self.inputs() + self.outputs()
+
+    def defining_statement(self, name: str) -> Statement:
+        for s in self.statements:
+            if s.target == name:
+                return s
+        raise IRError(f"tensor {name!r} has no defining statement")
+
+    def consumers(self, name: str) -> List[int]:
+        """Statement indices that read the given tensor."""
+        return [i for i, s in enumerate(self.statements) if name in s.operands]
+
+    # -- validation ---------------------------------------------------------------
+    def validate(self) -> "Function":
+        """Check SSA form, shapes, and def-before-use; returns self."""
+        shapes = self.shapes()
+        defined = {d.name for d in self.inputs()}
+        assigned: set = set()
+        for s in self.statements:
+            if s.target not in self.decls:
+                raise IRError(f"assignment to undeclared tensor {s.target!r}")
+            if self.decls[s.target].kind is TensorKind.INPUT:
+                raise IRError(f"assignment to input {s.target!r}")
+            if s.target in assigned:
+                raise IRError(f"tensor {s.target!r} assigned twice (not SSA)")
+            for o in s.operands:
+                if o not in self.decls:
+                    raise IRError(f"use of undeclared tensor {o!r}")
+                if o not in defined:
+                    raise IRError(f"tensor {o!r} used before definition")
+            got = s.op.output_shape(shapes)
+            want = shapes[s.target]
+            if got != want:
+                raise IRError(
+                    f"statement {s}: shape {got} does not match declared {want}"
+                )
+            assigned.add(s.target)
+            defined.add(s.target)
+        for d in self.outputs():
+            if d.name not in assigned:
+                raise IRError(f"output {d.name!r} never assigned")
+        for d in self.temporaries():
+            if d.name not in assigned:
+                raise IRError(f"temporary {d.name!r} never assigned")
+        return self
+
+    def dead_tensors(self) -> List[str]:
+        """Temporaries that are never read (candidates for elimination)."""
+        used: set = set()
+        for s in self.statements:
+            used.update(s.operands)
+        return [
+            d.name
+            for d in self.temporaries()
+            if d.name not in used
+        ]
+
+    def __str__(self) -> str:
+        lines = [f"func {self.name}:"]
+        for d in self.decls.values():
+            lines.append(f"  {d}")
+        for s in self.statements:
+            lines.append(f"  {s}")
+        return "\n".join(lines)
+
+
+def copy_function(fn: Function) -> Function:
+    """Shallow-copy a function (decls dict and statement list are fresh)."""
+    out = Function(fn.name)
+    out.decls = dict(fn.decls)
+    out.statements = list(fn.statements)
+    return out

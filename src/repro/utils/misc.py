@@ -1,0 +1,79 @@
+"""Miscellaneous numeric and combinatorial helpers."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+
+def prod(values: Iterable[int]) -> int:
+    """Integer product of an iterable (1 for empty input)."""
+    out = 1
+    for v in values:
+        out *= int(v)
+    return out
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires positive divisor, got {b}")
+    return -(-a // b)
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def pairwise_disjoint(sets: Sequence[frozenset]) -> bool:
+    """True iff every pair of the given sets is disjoint."""
+    seen: set = set()
+    for s in sets:
+        if seen & s:
+            return False
+        seen |= s
+    return True
+
+
+def stable_topo_orders(
+    nodes: Sequence[Hashable],
+    edges: Mapping[Hashable, Iterable[Hashable]],
+    limit: int = 5000,
+) -> Iterator[tuple]:
+    """Enumerate topological orders of a DAG deterministically.
+
+    ``edges[u]`` lists successors of ``u`` (u must come before them).  Orders
+    are produced in lexicographic order of the input ``nodes`` sequence, and
+    enumeration stops after ``limit`` orders to bound work on dense DAGs.
+    """
+    succ = {n: set(edges.get(n, ())) for n in nodes}
+    indeg = {n: 0 for n in nodes}
+    for u in nodes:
+        for v in succ[u]:
+            if v not in indeg:
+                raise ValueError(f"edge target {v!r} not in node set")
+            indeg[v] += 1
+
+    count = 0
+
+    def rec(order: list, indeg_now: dict) -> Iterator[tuple]:
+        nonlocal count
+        if count >= limit:
+            return
+        if len(order) == len(nodes):
+            count += 1
+            yield tuple(order)
+            return
+        for n in nodes:
+            if n not in order and indeg_now[n] == 0:
+                nxt = dict(indeg_now)
+                nxt[n] = -1  # consumed
+                for v in succ[n]:
+                    nxt[v] -= 1
+                order.append(n)
+                yield from rec(order, nxt)
+                order.pop()
+                if count >= limit:
+                    return
+
+    return rec([], indeg)

@@ -1,0 +1,62 @@
+"""Plain-text rendering of tables and bar charts for benchmark output.
+
+The benchmark harness regenerates the paper's tables and figures as text so
+the run log is self-contained (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Format a value with an SI prefix (e.g. 12_580 -> '12.58 k')."""
+    prefixes = [(1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, "")]
+    for scale, prefix in prefixes:
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {prefix}{unit}".rstrip()
+    return f"{value:.3g} {unit}".rstrip()
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a header separator row."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    ncol = max(len(r) for r in cells)
+    for r in cells:
+        r.extend([""] * (ncol - len(r)))
+    widths = [max(len(r[i]) for r in cells) for i in range(ncol)]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(cells[0]))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in cells[1:])
+    return "\n".join(lines)
+
+
+def ascii_barchart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    vmax = max((abs(v) for v in values), default=1.0) or 1.0
+    lw = max((len(s) for s in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        n = int(round(width * abs(value) / vmax))
+        lines.append(f"{label.rjust(lw)} | {'#' * n} {value:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Unit tests for the CFDlang lexer, parser, printer, and builder."""
+
+import pytest
+
+from repro.cfdlang import (
+    Add,
+    Contract,
+    Hadamard,
+    Ident,
+    Outer,
+    ProgramBuilder,
+    Sub,
+    TokenKind,
+    Lexer,
+    parse_program,
+    print_program,
+)
+from repro.apps.helmholtz import HELMHOLTZ_DSL
+from repro.errors import CFDlangSyntaxError
+
+
+class TestLexer:
+    def test_simple_decl(self):
+        toks = Lexer("var input S : [11 11]").tokenize()
+        kinds = [t.kind for t in toks]
+        assert kinds == [
+            TokenKind.VAR,
+            TokenKind.INPUT,
+            TokenKind.IDENT,
+            TokenKind.COLON,
+            TokenKind.LBRACKET,
+            TokenKind.INT,
+            TokenKind.INT,
+            TokenKind.RBRACKET,
+            TokenKind.EOF,
+        ]
+
+    def test_operators(self):
+        toks = Lexer("a # b * c / d + e - f . [[0 1]]").tokenize()
+        ops = [t.kind for t in toks if t.kind not in (TokenKind.IDENT, TokenKind.EOF)]
+        assert TokenKind.HASH in ops and TokenKind.SLASH in ops
+        assert TokenKind.DOT in ops
+
+    def test_line_comments(self):
+        toks = Lexer("// a comment\nx = y // trailing\n").tokenize()
+        assert [t.text for t in toks[:-1]] == ["x", "=", "y"]
+
+    def test_line_column_tracking(self):
+        toks = Lexer("a\n  b").tokenize()
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_unexpected_char(self):
+        with pytest.raises(CFDlangSyntaxError):
+            Lexer("a $ b").tokenize()
+
+    def test_int_value(self):
+        toks = Lexer("42").tokenize()
+        assert toks[0].int_value == 42
+
+
+class TestParser:
+    def test_helmholtz_parses(self):
+        prog = parse_program(HELMHOLTZ_DSL)
+        assert len(prog.decls) == 6
+        assert len(prog.stmts) == 3
+        assert [d.name for d in prog.inputs()] == ["S", "D", "u"]
+        assert [d.name for d in prog.outputs()] == ["v"]
+
+    def test_contraction_binds_whole_product(self):
+        prog = parse_program(
+            "var input S : [4 4]\nvar input u : [4 4 4]\nvar output t : [4 4 4]\n"
+            "t = S # S # S # u . [[1 6] [3 7] [5 8]]"
+        )
+        expr = prog.stmts[0].value
+        assert isinstance(expr, Contract)
+        assert isinstance(expr.operand, Outer)
+        assert len(expr.operand.factors) == 4
+        assert expr.pairs == [(1, 6), (3, 7), (5, 8)]
+
+    def test_hadamard(self):
+        prog = parse_program("var input a : [2]\nvar input b : [2]\nvar output c : [2]\nc = a * b")
+        assert isinstance(prog.stmts[0].value, Hadamard)
+
+    def test_precedence_add_mul(self):
+        prog = parse_program(
+            "var input a : [2]\nvar input b : [2]\nvar input c : [2]\n"
+            "var output d : [2]\nd = a + b * c"
+        )
+        e = prog.stmts[0].value
+        assert isinstance(e, Add)
+        assert isinstance(e.rhs, Hadamard)
+
+    def test_parentheses(self):
+        prog = parse_program(
+            "var input a : [2]\nvar input b : [2]\nvar input c : [2]\n"
+            "var output d : [2]\nd = (a + b) * c"
+        )
+        e = prog.stmts[0].value
+        assert isinstance(e, Hadamard)
+        assert isinstance(e.lhs, Add)
+
+    def test_sub(self):
+        prog = parse_program("var input a : [2]\nvar input b : [2]\nvar output c : [2]\nc = a - b")
+        assert isinstance(prog.stmts[0].value, Sub)
+
+    def test_type_alias(self):
+        prog = parse_program(
+            "type vec : [8]\nvar input a : vec\nvar output b : vec\nb = a"
+        )
+        assert prog.decls[0].type_name == "vec"
+
+    def test_missing_rbracket(self):
+        with pytest.raises(CFDlangSyntaxError):
+            parse_program("var input a : [2")
+
+    def test_empty_shape(self):
+        with pytest.raises(CFDlangSyntaxError):
+            parse_program("var input a : []")
+
+    def test_empty_pairs(self):
+        with pytest.raises(CFDlangSyntaxError):
+            parse_program("var input a : [2 2]\nvar output b : [2 2]\nb = a . []")
+
+    def test_garbage_statement(self):
+        with pytest.raises(CFDlangSyntaxError):
+            parse_program("= x")
+
+    def test_error_has_position(self):
+        with pytest.raises(CFDlangSyntaxError) as exc:
+            parse_program("var input a :\n[")
+        assert exc.value.line >= 1
+
+
+class TestPrinterRoundTrip:
+    def test_helmholtz_round_trip(self):
+        prog = parse_program(HELMHOLTZ_DSL)
+        text = print_program(prog)
+        reparsed = parse_program(text)
+        assert print_program(reparsed) == text
+
+    def test_precedence_preserved(self):
+        src = (
+            "var input a : [2]\nvar input b : [2]\nvar input c : [2]\n"
+            "var output d : [2]\nd = (a + b) * c"
+        )
+        prog = parse_program(src)
+        text = print_program(prog)
+        reparsed = parse_program(text)
+        e = reparsed.stmts[0].value
+        assert isinstance(e, Hadamard) and isinstance(e.lhs, Add)
+
+
+class TestBuilder:
+    def test_builds_helmholtz_equivalent(self):
+        from repro.apps.helmholtz import inverse_helmholtz_program
+
+        prog = inverse_helmholtz_program(11)
+        parsed = parse_program(HELMHOLTZ_DSL)
+        assert print_program(prog) == print_program(parsed)
+
+    def test_duplicate_declaration(self):
+        from repro.errors import CFDlangSemanticError
+
+        b = ProgramBuilder()
+        b.input("a", (2,))
+        with pytest.raises(CFDlangSemanticError):
+            b.input("a", (3,))
+
+    def test_outer_flattens(self):
+        b = ProgramBuilder()
+        a = b.input("a", (2,))
+        c = b.input("c", (2,))
+        e = b.outer(b.outer(a, c), a)
+        assert isinstance(e, Outer) and len(e.factors) == 3
+
+    def test_outer_needs_two(self):
+        from repro.errors import CFDlangSemanticError
+
+        with pytest.raises(CFDlangSemanticError):
+            ProgramBuilder.outer(Ident(name="a"))

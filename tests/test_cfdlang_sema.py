@@ -1,0 +1,108 @@
+"""Unit tests for CFDlang semantic analysis (shapes, kinds, SSA rules)."""
+
+import pytest
+
+from repro.cfdlang import analyze, parse_program
+from repro.errors import CFDlangSemanticError
+
+
+def check(src):
+    return analyze(parse_program(src))
+
+
+class TestShapes:
+    def test_helmholtz_shapes(self):
+        from repro.apps.helmholtz import HELMHOLTZ_DSL
+
+        prog = check(HELMHOLTZ_DSL)
+        assert prog.stmts[0].value.shape == (11, 11, 11)
+        assert prog.stmts[1].value.shape == (11, 11, 11)
+
+    def test_outer_concat(self):
+        prog = check(
+            "var input a : [2 3]\nvar input b : [4]\nvar output c : [2 3 4]\nc = a # b"
+        )
+        assert prog.stmts[0].value.shape == (2, 3, 4)
+
+    def test_rectangular_contraction(self):
+        # I: [5 3], u: [3 3 3] -> w: [5 5 5]
+        prog = check(
+            "var input I : [5 3]\nvar input u : [3 3 3]\nvar output w : [5 5 5]\n"
+            "w = I # I # I # u . [[1 6] [3 7] [5 8]]"
+        )
+        assert prog.stmts[0].value.shape == (5, 5, 5)
+
+    def test_contraction_extent_mismatch(self):
+        with pytest.raises(CFDlangSemanticError, match="mismatched extents"):
+            check(
+                "var input a : [2 3]\nvar input b : [4]\nvar output c : [2]\n"
+                "c = a # b . [[1 2]]"
+            )
+
+    def test_contraction_index_out_of_range(self):
+        with pytest.raises(CFDlangSemanticError, match="out of range"):
+            check("var input a : [2 2]\nvar output c : [2 2]\nc = a . [[0 5]]")
+
+    def test_contraction_index_repeated(self):
+        with pytest.raises(CFDlangSemanticError, match="used twice"):
+            check(
+                "var input a : [2 2 2 2]\nvar output c : [2 2]\n"
+                "c = a . [[0 1] [1 2]]"
+            )
+
+    def test_degenerate_pair(self):
+        with pytest.raises(CFDlangSemanticError, match="degenerate"):
+            check("var input a : [2 2]\nvar output c : [2 2]\nc = a . [[1 1]]")
+
+    def test_hadamard_shape_mismatch(self):
+        with pytest.raises(CFDlangSemanticError, match="equal shapes"):
+            check("var input a : [2]\nvar input b : [3]\nvar output c : [2]\nc = a * b")
+
+    def test_assignment_shape_mismatch(self):
+        with pytest.raises(CFDlangSemanticError, match="does not match declared"):
+            check("var input a : [2 3]\nvar output c : [3 2]\nc = a")
+
+
+class TestKinds:
+    def test_assign_to_input(self):
+        with pytest.raises(CFDlangSemanticError, match="assignment to input"):
+            check("var input a : [2]\nvar input b : [2]\na = b")
+
+    def test_double_assignment(self):
+        with pytest.raises(CFDlangSemanticError, match="more than once"):
+            check(
+                "var input a : [2]\nvar output c : [2]\nvar t : [2]\n"
+                "t = a\nt = a\nc = t"
+            )
+
+    def test_use_before_assignment(self):
+        with pytest.raises(CFDlangSemanticError, match="used before assignment"):
+            check("var input a : [2]\nvar output c : [2]\nvar t : [2]\nc = t\nt = a")
+
+    def test_unassigned_output(self):
+        with pytest.raises(CFDlangSemanticError, match="never assigned"):
+            check("var input a : [2]\nvar output c : [2]\nvar output d : [2]\nc = a")
+
+    def test_undeclared_use(self):
+        with pytest.raises(CFDlangSemanticError, match="undeclared"):
+            check("var output c : [2]\nc = nope")
+
+    def test_undeclared_target(self):
+        with pytest.raises(CFDlangSemanticError, match="undeclared"):
+            check("var input a : [2]\nz = a")
+
+    def test_duplicate_decl(self):
+        with pytest.raises(CFDlangSemanticError, match="duplicate"):
+            check("var input a : [2]\nvar input a : [3]\nvar output c : [2]\nc = a")
+
+    def test_unknown_type_alias(self):
+        with pytest.raises(CFDlangSemanticError, match="unknown type"):
+            check("var input a : novec\nvar output c : [2]\nc = a")
+
+    def test_type_alias_resolution(self):
+        prog = check("type m : [4 4]\nvar input a : m\nvar output c : [4 4]\nc = a")
+        assert prog.decl("a").shape == (4, 4)
+
+    def test_nonpositive_extent(self):
+        with pytest.raises(CFDlangSemanticError, match="non-positive"):
+            check("var input a : [0]\nvar output c : [0]\nc = a")

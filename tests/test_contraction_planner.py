@@ -1,0 +1,99 @@
+"""The contraction-order planner: DP optimality vs brute force."""
+
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.teil.canonicalize import contraction_plan
+from repro.teil.ops import Contraction
+from repro.utils import prod
+
+
+def brute_force_best_cost(op: Contraction, extents) -> int:
+    """Exhaustive left-deep + all-orders evaluation search (small n)."""
+    n = len(op.operands)
+    idx_sets = [set(ix) for ix in op.operand_indices]
+    out_set = set(op.output_indices)
+
+    def result_indices(mask):
+        inside = set()
+        for k in range(n):
+            if mask & (1 << k):
+                inside |= idx_sets[k]
+        outside = set(out_set)
+        for k in range(n):
+            if not mask & (1 << k):
+                outside |= idx_sets[k]
+        return inside & outside if mask != (1 << n) - 1 else inside & out_set
+
+    best = None
+
+    def rec(groups, cost):
+        nonlocal best
+        if best is not None and cost >= best:
+            return
+        if len(groups) == 1:
+            best = cost if best is None else min(best, cost)
+            return
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                mi, mj = groups[i], groups[j]
+                merged = mi | mj
+                union = result_indices(mi) | result_indices(mj)
+                c = prod(extents[x] for x in union)
+                rest = [g for t, g in enumerate(groups) if t not in (i, j)]
+                rec(rest + [merged], cost + c)
+
+    rec([1 << k for k in range(n)], 0)
+    return best
+
+
+@st.composite
+def random_contractions(draw):
+    """Chain-style contractions with random extents (3-4 operands)."""
+    n_ops = draw(st.integers(3, 4))
+    extents = {}
+    names = []
+    indices = []
+    # operand k is a matrix (x_k, x_{k+1}); last operand is rank 2-3
+    for k in range(n_ops):
+        names.append(f"m{k}")
+        a, b = f"x{k}", f"x{k+1}"
+        indices.append((a, b))
+    for k in range(n_ops + 1):
+        extents[f"x{k}"] = draw(st.integers(2, 30))
+    output = (f"x0", f"x{n_ops}")
+    op = Contraction(tuple(names), tuple(indices), output)
+    return op, extents
+
+
+class TestPlannerOptimality:
+    @given(random_contractions())
+    @settings(max_examples=40, deadline=None)
+    def test_dp_matches_brute_force(self, case):
+        op, extents = case
+        _, dp_cost = contraction_plan(op, extents)
+        assert dp_cost == brute_force_best_cost(op, extents)
+
+    def test_helmholtz_structure_cost(self):
+        op = Contraction(
+            ("S", "S", "S", "u"),
+            (("i", "l"), ("j", "m"), ("k", "n"), ("l", "m", "n")),
+            ("i", "j", "k"),
+        )
+        extents = {x: 11 for x in "ijklmn"}
+        _, cost = contraction_plan(op, extents)
+        assert cost == brute_force_best_cost(op, extents) == 3 * 11**4
+
+    def test_asymmetric_extents_change_order(self):
+        # when one mode is tiny, contracting it first wins
+        op = Contraction(
+            ("A", "B", "C"),
+            (("i", "j"), ("j", "k"), ("k", "l")),
+            ("i", "l"),
+        )
+        cheap_first = {"i": 2, "j": 50, "k": 2, "l": 50}
+        _, cost = contraction_plan(op, cheap_first)
+        assert cost == brute_force_best_cost(op, cheap_first)

@@ -1,0 +1,155 @@
+"""End-to-end flow tests: compile_flow, artifacts, CLI."""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.apps.helmholtz import (
+    HELMHOLTZ_DSL,
+    make_element_data,
+    reference_inverse_helmholtz,
+)
+from repro.codegen.hlsdirectives import HlsDirectives
+from repro.flow import FlowOptions, compile_flow, write_artifacts
+from repro.flow.cli import main as cli_main
+from repro.mnemosyne import SharingMode
+
+
+class TestCompileFlow:
+    def test_defaults_reproduce_paper_headline(self):
+        res = compile_flow(HELMHOLTZ_DSL)
+        assert res.hls.resources.lut == 2314
+        assert res.memory.brams == 18
+        d = res.build_system()
+        assert (d.k, d.m) == (16, 16)
+
+    def test_flow_accepts_built_program(self):
+        from repro.apps.helmholtz import inverse_helmholtz_program
+
+        res = compile_flow(inverse_helmholtz_program(11))
+        assert res.memory.brams == 18
+
+    def test_streamed_vs_static_split(self):
+        res = compile_flow(HELMHOLTZ_DSL)
+        assert res.streamed_arrays() == ["D", "u", "v"]
+        assert res.static_arrays() == ["S"]
+        assert res.bytes_in_per_element() == 2 * 1331 * 8
+        assert res.bytes_out_per_element() == 1331 * 8
+        assert res.static_bytes() == 121 * 8
+
+    def test_temporaries_internal_flow(self):
+        res = compile_flow(HELMHOLTZ_DSL, FlowOptions(temporaries_internal=True))
+        assert res.memory.brams == 9       # paper: memory system used 9
+        assert res.hls.resources.bram == 24  # paper: accelerator used 24
+        total = res.memory.brams + res.hls.resources.bram
+        assert total == 33                  # paper: total of 33
+        # exporting temporaries is better: 18 < 33
+        assert compile_flow(HELMHOLTZ_DSL).memory.brams < total
+
+    def test_no_factorize_flow(self):
+        res = compile_flow(HELMHOLTZ_DSL, FlowOptions(factorize=False))
+        # unfactorized: 3 statements, huge latency (O(p^6) MACs)
+        assert len(res.function.statements) == 3
+        fast = compile_flow(HELMHOLTZ_DSL)
+        assert res.hls.latency_cycles > 10 * fast.hls.latency_cycles
+
+    def test_layout_override(self):
+        res = compile_flow(
+            HELMHOLTZ_DSL, FlowOptions(layout_overrides={"u": "column_major"})
+        )
+        assert res.poly.layouts["u"].strides == (1, 11, 121)
+
+    def test_bad_layout_override(self):
+        from repro.errors import SystemGenerationError
+
+        with pytest.raises(SystemGenerationError):
+            compile_flow(HELMHOLTZ_DSL, FlowOptions(layout_overrides={"u": "zigzag"}))
+
+    def test_simulate_shortcut(self):
+        res = compile_flow(HELMHOLTZ_DSL)
+        s = res.simulate(1_000, 2, 2)
+        assert s.k == 2 and s.total_seconds > 0
+
+    def test_mismatched_km_args(self):
+        from repro.errors import SystemGenerationError
+
+        res = compile_flow(HELMHOLTZ_DSL)
+        with pytest.raises(SystemGenerationError):
+            res.build_system(k=2)
+
+
+class TestArtifacts:
+    def test_write_artifacts(self, tmp_path):
+        res = compile_flow(HELMHOLTZ_DSL)
+        paths = write_artifacts(res, str(tmp_path), k=4, m=4)
+        for name in (
+            "kernel.c",
+            "kernel_mirror.py",
+            "mnemosyne_config.json",
+            "compat_graph.txt",
+            "memory_subsystem.txt",
+            "hls_report.txt",
+            "system.v",
+            "host.c",
+            "system_report.txt",
+        ):
+            assert pathlib.Path(paths[name]).exists(), name
+        config = json.loads((tmp_path / "mnemosyne_config.json").read_text())
+        assert config["sizes"]["v"] == 1331
+        assert "void kernel_body(" in (tmp_path / "kernel.c").read_text()
+
+    def test_mirror_artifact_is_runnable(self, tmp_path):
+        res = compile_flow(HELMHOLTZ_DSL)
+        write_artifacts(res, str(tmp_path), k=1, m=1)
+        src = (tmp_path / "kernel_mirror.py").read_text()
+        ns: dict = {}
+        exec(compile(src, "kernel_mirror.py", "exec"), ns)
+        assert callable(ns["kernel_body"])
+
+
+class TestCli:
+    def test_cli_builtin_app(self, tmp_path, capsys):
+        rc = cli_main(
+            ["--app", "helmholtz", "-o", str(tmp_path), "--simulate", "--ne", "1000"]
+        )
+        assert rc == 0
+        outp = capsys.readouterr().out
+        assert "HLS report" in outp and "artifacts written" in outp
+
+    def test_cli_source_file(self, tmp_path, capsys):
+        src = tmp_path / "helm.cfd"
+        src.write_text(HELMHOLTZ_DSL)
+        rc = cli_main([str(src), "-o", str(tmp_path / "build"), "-k", "2", "-m", "2"])
+        assert rc == 0
+        assert (tmp_path / "build" / "kernel.c").exists()
+
+    def test_cli_no_input(self, capsys):
+        assert cli_main([]) == 2
+
+    def test_cli_no_sharing(self, tmp_path, capsys):
+        rc = cli_main(
+            ["--app", "helmholtz", "-o", str(tmp_path), "--no-sharing", "-k", "8", "-m", "8"]
+        )
+        assert rc == 0
+        assert "31 BRAM36" in capsys.readouterr().out
+
+    def test_cli_other_apps(self, tmp_path):
+        for app in ("interpolation", "gradient"):
+            rc = cli_main(["--app", app, "-n", "6", "-o", str(tmp_path / app)])
+            assert rc == 0
+
+
+class TestFunctionalEndToEnd:
+    def test_flow_kernel_is_numerically_correct(self):
+        """Generated kernel (Python mirror) vs the Eq. 1a-1c reference."""
+        from repro.codegen import run_python_kernel
+
+        res = compile_flow(
+            __import__("repro.apps.helmholtz", fromlist=["x"]).inverse_helmholtz_source(4)
+        )
+        data = make_element_data(4, seed=12)
+        got = run_python_kernel(res.poly, data)["v"]
+        ref = reference_inverse_helmholtz(data["S"], data["D"], data["u"])
+        np.testing.assert_allclose(got, ref, rtol=1e-12)

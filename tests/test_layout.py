@@ -1,0 +1,133 @@
+"""Unit tests for layout materialization and partitioning maps."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import Layout, default_layouts, identity_partition, merge_arrays
+from repro.layout.partition import PartitionMap, PartitionRule
+
+
+class TestLayout:
+    def test_row_major_paper_example(self):
+        """'The C99 standard innermost dimension layout of t reads
+        t[i,j,k] -> t[121 i + 11 j + k]' (Sec. IV-D)."""
+        l = Layout.row_major("t", (11, 11, 11))
+        assert l.strides == (121, 11, 1)
+        assert l.address((1, 2, 3)) == 121 + 22 + 3
+
+    def test_column_major(self):
+        l = Layout.column_major("t", (11, 11, 11))
+        assert l.strides == (1, 11, 121)
+
+    def test_size_and_density(self):
+        l = Layout.row_major("t", (3, 4))
+        assert l.size == 12 and l.is_dense()
+        sparse = Layout("t", (3, 4), (8, 1))
+        assert sparse.size == 20 and not sparse.is_dense()
+
+    def test_offset(self):
+        l = Layout.row_major("t", (2, 2), offset=100)
+        assert l.address((0, 0)) == 100
+        assert l.address((1, 1)) == 103
+
+    def test_aff_composition(self):
+        l = Layout.row_major("t", (4, 5))
+        fn = l.aff(("i", "j"))
+        assert fn.evaluate((2, 3)) == (13,)
+
+    def test_image_is_strided(self):
+        l = Layout("t", (3,), (7,), offset=2)
+        pts = sorted(l.image().points())
+        assert pts == [(2,), (9,), (16,)]
+
+    def test_injectivity_check(self):
+        Layout.row_major("t", (3, 4)).check_injective()
+        with pytest.raises(LayoutError):
+            Layout("t", (3, 4), (1, 1)).check_injective()  # collisions
+
+    def test_stride_arity_mismatch(self):
+        with pytest.raises(LayoutError):
+            Layout("t", (3, 4), (4,))
+
+    def test_address_rank_mismatch(self):
+        with pytest.raises(LayoutError):
+            Layout.row_major("t", (3,)).address((1, 2))
+
+    def test_default_layouts(self):
+        ls = default_layouts({"a": (2, 3), "b": (4,)})
+        assert ls["a"].strides == (3, 1)
+        assert ls["b"].array == "b"
+
+    def test_negative_stride_size_rejected(self):
+        with pytest.raises(LayoutError):
+            Layout("t", (3,), (-1,)).size
+
+
+class TestPartitionMap:
+    def test_identity(self):
+        pm = identity_partition(["a", "b"])
+        assert pm.apply_address("a", 5) == ("a", 5)
+        pm.check_fixpoint()
+        pm.check_rules_cover({"a": 10, "b": 10})
+
+    def test_merge_map(self):
+        pm = merge_arrays({"buf": ["u", "v"]})
+        assert pm.apply_address("u", 3) == ("buf", 3)
+        assert pm.apply_address("v", 3) == ("buf", 3)
+        assert pm.overlapping_pairs({"u": 8, "v": 8}) == [("u", "v")]
+
+    def test_split_map(self):
+        pm = PartitionMap(
+            [
+                PartitionRule("t", "t_lo", lo=0, hi=3),
+                PartitionRule("t", "t_hi", offset=-4, lo=4, hi=7),
+            ]
+        )
+        pm.check_rules_cover({"t": 8})
+        assert pm.apply_address("t", 2) == ("t_lo", 2)
+        assert pm.apply_address("t", 6) == ("t_hi", 2)
+        assert pm.overlapping_pairs({"t": 8}) == []
+
+    def test_partial_coverage_rejected(self):
+        pm = PartitionMap([PartitionRule("t", "x", lo=0, hi=3)])
+        from repro.errors import LayoutError
+
+        with pytest.raises(LayoutError, match="partially unmapped"):
+            pm.check_rules_cover({"t": 8})
+
+    def test_ambiguous_coverage_rejected(self):
+        pm = PartitionMap(
+            [PartitionRule("t", "x", lo=0, hi=5), PartitionRule("t", "y", lo=4, hi=7)]
+        )
+        with pytest.raises(LayoutError, match="ambiguously"):
+            pm.check_rules_cover({"t": 8})
+
+    def test_fixpoint_violation(self):
+        pm = PartitionMap(
+            [PartitionRule("a", "b"), PartitionRule("b", "c")]
+        )
+        with pytest.raises(LayoutError, match="no fixpoint"):
+            pm.check_fixpoint()
+
+    def test_strided_interleave_no_overlap(self):
+        # even/odd interleave of two arrays into one: disjoint images
+        pm = PartitionMap(
+            [
+                PartitionRule("a", "buf", stride=2, offset=0),
+                PartitionRule("b", "buf", stride=2, offset=1),
+            ]
+        )
+        assert pm.overlapping_pairs({"a": 8, "b": 8}) == []
+
+    def test_target_sizes(self):
+        pm = merge_arrays({"buf": ["u", "v"]})
+        sizes = pm.target_size({"u": 10, "v": 6, "w": 3})
+        assert sizes["buf"] == 10
+        assert sizes["w"] == 3
+
+    def test_ambiguous_address_application(self):
+        pm = PartitionMap(
+            [PartitionRule("t", "x", lo=0, hi=5), PartitionRule("t", "y", lo=4, hi=7)]
+        )
+        with pytest.raises(LayoutError, match="ambiguous"):
+            pm.apply_address("t", 5)

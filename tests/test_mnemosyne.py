@@ -1,0 +1,153 @@
+"""Tests for the Mnemosyne substrate: BRAM model, PLMs, sharing optimizer.
+
+The headline numbers (Sec. VI): 31 BRAMs per kernel without sharing, 18
+with sharing enabled, and 9 + 24 = 33 when temporaries stay inside HLS.
+"""
+
+import pytest
+
+from repro.apps.helmholtz import inverse_helmholtz_program
+from repro.errors import MemoryArchitectureError
+from repro.mnemosyne import (
+    MnemosyneConfig,
+    PortClass,
+    SharingMode,
+    brams_for_unit,
+    build_memory_subsystem,
+    hls_internal_brams,
+    hls_internal_is_lutram,
+    port_class_assignment,
+)
+from repro.mnemosyne.config import build_config
+from repro.mnemosyne.sharing import sharing_report
+from repro.poly.reschedule import reschedule
+from repro.poly.schedule import reference_schedule
+from repro.teil import canonicalize, lower_program
+
+
+def helmholtz_config(n=11):
+    fn = canonicalize(lower_program(inverse_helmholtz_program(n)))
+    prog = reschedule(reference_schedule(fn))
+    return build_config(prog), prog
+
+
+class TestBramModel:
+    def test_sdp_geometry(self):
+        assert brams_for_unit(121, PortClass.ACCELERATOR_ONLY) == 1
+        assert brams_for_unit(512, PortClass.ACCELERATOR_ONLY) == 1
+        assert brams_for_unit(513, PortClass.ACCELERATOR_ONLY) == 2
+        assert brams_for_unit(1331, PortClass.ACCELERATOR_ONLY) == 3
+
+    def test_tdp_geometry(self):
+        assert brams_for_unit(1331, PortClass.ACCELERATOR_AND_SYSTEM) == 4
+        assert brams_for_unit(1024, PortClass.ACCELERATOR_AND_SYSTEM) == 2
+        assert brams_for_unit(1025, PortClass.ACCELERATOR_AND_SYSTEM) == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(MemoryArchitectureError):
+            brams_for_unit(0, PortClass.ACCELERATOR_ONLY)
+
+    def test_hls_internal_lutram(self):
+        assert hls_internal_is_lutram(121)
+        assert not hls_internal_is_lutram(1331)
+        assert hls_internal_brams(121) == 0
+        assert hls_internal_brams(1331) == 4
+
+
+class TestPortClasses:
+    def test_helmholtz_assignment(self):
+        config, prog = helmholtz_config()
+        pc = port_class_assignment(prog)
+        # S is a static operand (read by 6 statements): accelerator-only
+        assert pc["S"] is PortClass.ACCELERATOR_ONLY
+        # D, u, v are streamed per element: accelerator + system port
+        for name in ("D", "u", "v"):
+            assert pc[name] is PortClass.ACCELERATOR_AND_SYSTEM
+        # temporaries are private
+        for name in ("t", "r", "t0", "t1", "t2", "t3"):
+            assert pc[name] is PortClass.ACCELERATOR_ONLY
+
+
+class TestSharing:
+    def test_no_sharing_reproduces_31_brams(self):
+        config, _ = helmholtz_config()
+        mem = build_memory_subsystem(config, SharingMode.NONE)
+        assert mem.brams == 31  # paper Sec. VI
+        assert mem.n_units == 10
+
+    def test_matching_reproduces_18_brams(self):
+        config, _ = helmholtz_config()
+        mem = build_memory_subsystem(config, SharingMode.MATCHING)
+        assert mem.brams == 18  # paper Sec. VI
+        # every unit still holds each array exactly once
+        assert sorted(mem.arrays()) == sorted(config.arrays)
+
+    def test_clique_beats_matching(self):
+        """Ablation: clique-cover sharing is strictly better than the
+        pairwise tool (13 vs 18 BRAMs for the Helmholtz kernel)."""
+        config, _ = helmholtz_config()
+        clique = build_memory_subsystem(config, SharingMode.CLIQUE)
+        matching = build_memory_subsystem(config, SharingMode.MATCHING)
+        assert clique.brams < matching.brams
+        assert clique.brams == 12
+
+    def test_sharing_report_all_modes(self):
+        config, _ = helmholtz_config()
+        rep = sharing_report(config)
+        assert rep["none"] == 31 and rep["matching"] == 18 and rep["clique"] == 12
+
+    def test_merged_units_are_legal(self):
+        config, _ = helmholtz_config()
+        mem = build_memory_subsystem(config, SharingMode.MATCHING)
+        for u in mem.units:
+            for i, a in enumerate(u.members):
+                for b in u.members[i + 1 :]:
+                    assert config.compatible(a, b)
+
+    def test_illegal_sharing_rejected(self):
+        config, _ = helmholtz_config()
+        with pytest.raises(MemoryArchitectureError, match="not address-space compatible"):
+            # t and r overlap (r = D * t reads t while writing r)
+            build_memory_subsystem(config, groups=[("t", "r")] + [(a,) for a in config.arrays if a not in ("t", "r")])
+
+    def test_explicit_groups_accepted_when_legal(self):
+        config, _ = helmholtz_config()
+        mem = build_memory_subsystem(
+            config,
+            groups=[("u", "v")] + [(a,) for a in config.arrays if a not in ("u", "v")],
+        )
+        assert mem.n_units == 9
+
+    def test_merged_unit_takes_strongest_port_class(self):
+        config, _ = helmholtz_config()
+        mem = build_memory_subsystem(config, SharingMode.MATCHING)
+        for u in mem.units:
+            if any(m in ("D", "u", "v") for m in u.members):
+                assert u.port_class is PortClass.ACCELERATOR_AND_SYSTEM
+
+    def test_config_json_round_trip(self):
+        config, _ = helmholtz_config()
+        j = config.to_json()
+        back = MnemosyneConfig.from_json(j)
+        assert back.sizes == config.sizes
+        assert back.port_classes == config.port_classes
+        assert back.address_space_edges == config.address_space_edges
+
+    def test_temporaries_inside_hls_brams(self):
+        """Paper: temporaries inside HLS -> memory system 9 + accelerator 24."""
+        config, prog = helmholtz_config()
+        temps = [d.name for d in prog.function.temporaries()]
+        interface = [d.name for d in prog.function.interface()]
+        acc_brams = sum(hls_internal_brams(config.sizes[t]) for t in temps)
+        assert acc_brams == 24
+        # memory side: interface arrays only, no sharing info usable,
+        # single-port (HLS serializes rounds), S static stays internal LUTRAM
+        from repro.mnemosyne.bram import hls_internal_is_lutram as lutram
+
+        mem_brams = sum(
+            brams_for_unit(config.sizes[a], PortClass.ACCELERATOR_ONLY)
+            for a in interface
+            if not lutram(config.sizes[a])
+        )
+        assert mem_brams == 9
+        assert acc_brams + mem_brams == 33  # paper Sec. VI

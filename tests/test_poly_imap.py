@@ -1,0 +1,167 @@
+"""Unit tests for relations (IMap) and lexicographic helpers."""
+
+import pytest
+
+from repro.errors import PolyhedralError
+from repro.poly.aff import AffExpr, AffTuple
+from repro.poly.imap import IMap
+from repro.poly.iset import BasicSet
+from repro.poly.lexorder import (
+    ge_le,
+    interval_tuples,
+    lex_compare,
+    lex_le_map,
+    lex_lt_map,
+)
+from repro.poly.space import Space
+
+
+def sp(*dims, name="t"):
+    return Space(name, tuple(dims))
+
+
+def graph_of(exprs, in_dims, out_name="y", domain=None):
+    d = sp(*in_dims, name="x")
+    fn = AffTuple(d, tuple(exprs), Space(out_name, tuple(f"{out_name}{i}" for i in range(len(exprs)))))
+    return IMap.from_aff(fn, domain)
+
+
+class TestIMapBasics:
+    def test_graph_contains(self):
+        m = graph_of([AffExpr.var("i") * 2 + 1], ["i"])
+        assert m.contains((3,), (7,))
+        assert not m.contains((3,), (8,))
+
+    def test_graph_with_domain_pairs(self):
+        dom = BasicSet.from_box(sp("i", name="x"), [(0, 2)])
+        m = graph_of([AffExpr.var("i") + 10], ["i"], domain=dom)
+        assert sorted(m.pairs()) == [((0,), (10,)), ((1,), (11,)), ((2,), (12,))]
+
+    def test_inverse(self):
+        dom = BasicSet.from_box(sp("i", name="x"), [(0, 2)])
+        m = graph_of([AffExpr.var("i") + 10], ["i"], domain=dom).inverse()
+        assert sorted(m.pairs()) == [((10,), (0,)), ((11,), (1,)), ((12,), (2,))]
+
+    def test_compose(self):
+        dom = BasicSet.from_box(sp("i", name="x"), [(0, 3)])
+        f = graph_of([AffExpr.var("i") * 2], ["i"], domain=dom)        # i -> 2i
+        g = graph_of([AffExpr.var("i") + 5], ["i"])                    # j -> j+5
+        gf = g.compose(f)                                              # i -> 2i+5
+        assert sorted(gf.pairs()) == [((i,), (2 * i + 5,)) for i in range(4)]
+
+    def test_compose_arity_mismatch(self):
+        f = graph_of([AffExpr.var("i"), AffExpr.var("i")], ["i"])
+        g = graph_of([AffExpr.var("i")], ["i"])
+        with pytest.raises(PolyhedralError):
+            g.compose(f)
+
+    def test_apply_and_domain_range(self):
+        dom = BasicSet.from_box(sp("i", name="x"), [(0, 4)])
+        m = graph_of([AffExpr.var("i") * 3], ["i"], domain=dom)
+        img = m.apply(BasicSet.from_box(sp("i", name="x"), [(1, 2)]))
+        assert sorted(img.points()) == [(3,), (6,)]
+        assert sorted(m.domain().points()) == [(i,) for i in range(5)]
+        assert sorted(m.range().points()) == [(0,), (3,), (6,), (9,), (12,)]
+
+    def test_intersect_domain_range(self):
+        dom = BasicSet.from_box(sp("i", name="x"), [(0, 9)])
+        m = graph_of([AffExpr.var("i") * 2], ["i"], domain=dom)
+        m2 = m.intersect_range(BasicSet.from_box(sp("y0", name="y"), [(4, 9)]))
+        assert sorted(m2.pairs()) == [((2,), (4,)), ((3,), (6,)), ((4,), (8,))]
+
+    def test_product(self):
+        d1 = BasicSet.from_box(sp("i", name="x"), [(0, 1)])
+        f = graph_of([AffExpr.var("i") + 1], ["i"], domain=d1)
+        prod = f.product(f)
+        # ((a, b)) -> ((a+1, b+1))
+        assert prod.contains((0, 1), (1, 2))
+        assert not prod.contains((0, 1), (1, 3))
+
+    def test_identity(self):
+        m = IMap.identity(sp("i", "j"))
+        assert m.contains((4, 5), (4, 5))
+        assert not m.contains((4, 5), (5, 4))
+
+    def test_image_of_point(self):
+        m = graph_of([AffExpr.var("i"), AffExpr.var("i") + 2], ["i"])
+        dom = BasicSet.from_box(sp("i", name="x"), [(0, 5)])
+        m = m.intersect_domain(dom)
+        assert m.image_of_point((3,)) == [(3, 5)]
+
+
+class TestLexOrder:
+    def test_lex_compare(self):
+        assert lex_compare((1, 2), (1, 3)) == -1
+        assert lex_compare((2, 0), (1, 9)) == 1
+        assert lex_compare((1, 2), (1, 2)) == 0
+
+    def test_lex_lt_map_small(self):
+        m = lex_lt_map(2)
+        assert m.contains((0, 5), (1, 0))
+        assert m.contains((1, 1), (1, 2))
+        assert not m.contains((1, 2), (1, 2))
+        assert not m.contains((2, 0), (1, 9))
+
+    def test_lex_le_map_includes_equal(self):
+        m = lex_le_map(2)
+        assert m.contains((1, 2), (1, 2))
+
+    def test_lex_exhaustive_rank2(self):
+        m = lex_lt_map(2)
+        pts = [(a, b) for a in range(3) for b in range(3)]
+        for x in pts:
+            for y in pts:
+                assert m.contains(x, y) == (lex_compare(x, y) < 0)
+
+
+class TestGeLe:
+    def test_ge_le_basic(self):
+        # interval map: a -> [ (a, 0) -> (a, 2) ]  for a in 0..1
+        x = sp("a", name="arr")
+        dom = BasicSet.from_box(x, [(0, 1)])
+        fn = AffTuple(
+            x,
+            (AffExpr.var("a"), AffExpr.constant(0), AffExpr.var("a"), AffExpr.constant(2)),
+            Space("", ("w0", "w1", "r0", "r1")),
+        )
+        im = IMap.from_aff(fn, dom)
+        live = ge_le(im, 2)
+        got = sorted(live.image_of_point((0,)))
+        assert got == [(0, 0), (0, 1), (0, 2)]
+        got1 = sorted(live.image_of_point((1,)))
+        assert got1 == [(1, 0), (1, 1), (1, 2)]
+
+    def test_ge_le_crosses_major_dim(self):
+        # interval (0,1) -> (1,0): all tuples in between in a 2x2 grid
+        x = sp("a", name="arr")
+        dom = BasicSet.from_box(x, [(0, 0)])
+        fn = AffTuple(
+            x,
+            (AffExpr.constant(0), AffExpr.constant(1), AffExpr.constant(1), AffExpr.constant(0)),
+            Space("", ("w0", "w1", "r0", "r1")),
+        )
+        live = ge_le(IMap.from_aff(fn, dom), 2)
+        grid = BasicSet.from_box(Space("", ("t0", "t1")), [(0, 1), (0, 1)])
+        img = set(live.intersect_range(grid).image_of_point((0,)))
+        expect = set(interval_tuples((0, 1), (1, 0), grid))
+        assert img == expect
+
+    def test_ge_le_matches_reference_on_grid(self):
+        x = sp("a", name="arr")
+        dom = BasicSet.from_box(x, [(0, 0)])
+        fn = AffTuple(
+            x,
+            (AffExpr.constant(1), AffExpr.constant(2), AffExpr.constant(3), AffExpr.constant(1)),
+            Space("", ("w0", "w1", "r0", "r1")),
+        )
+        live = ge_le(IMap.from_aff(fn, dom), 2)
+        grid = BasicSet.from_box(Space("", ("t0", "t1")), [(0, 4), (0, 4)])
+        expect = set(interval_tuples((1, 2), (3, 1), grid))
+        got = {t for t in grid.points() if live.contains((0,), t)}
+        assert got == expect
+
+    def test_ge_le_arity_check(self):
+        x = sp("a", name="arr")
+        fn = AffTuple(x, (AffExpr.var("a"),), Space("", ("w0",)))
+        with pytest.raises(PolyhedralError):
+            ge_le(IMap.from_aff(fn), 1)

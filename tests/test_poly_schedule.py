@@ -1,0 +1,185 @@
+"""Tests for polyhedral statements, reference schedule, dataflow, rescheduling."""
+
+import pytest
+
+from repro.apps.helmholtz import inverse_helmholtz_program
+from repro.errors import PolyhedralError
+from repro.poly.codegen_ast import build_loop_ast, kernel_trip_counts
+from repro.poly.dataflow import (
+    access_schedule_points,
+    check_schedule_legal,
+    raw_element_relation,
+    statement_raw_deps,
+    statement_rar_pairs,
+)
+from repro.poly.reschedule import (
+    RescheduleOptions,
+    innermost_stride,
+    raw_cost,
+    reschedule,
+)
+from repro.poly.schedule import (
+    build_statements,
+    reference_schedule,
+    with_statement_order,
+    with_loop_permutation,
+)
+from repro.teil import canonicalize, lower_program
+
+
+def helmholtz_poly(n=4, factorize=True):
+    fn = canonicalize(lower_program(inverse_helmholtz_program(n)), factorize=factorize)
+    return reference_schedule(fn)
+
+
+class TestStatements:
+    def test_statement_count_and_kinds(self):
+        prog = helmholtz_poly()
+        assert len(prog.statements) == 7
+        kinds = [s.kind for s in prog.statements]
+        assert kinds.count("contract") == 6
+        assert kinds.count("ewise:*") == 1
+
+    def test_contraction_has_inner_domain(self):
+        prog = helmholtz_poly(n=4)
+        s0 = prog.statements[0]
+        assert s0.is_reduction
+        assert len(s0.loop_dims) == 4  # 3 output + 1 reduction
+        assert len(list(s0.domain.points())) == 4**4
+
+    def test_ewise_statement_domain(self):
+        prog = helmholtz_poly(n=3)
+        had = [s for s in prog.statements if s.kind == "ewise:*"][0]
+        assert not had.is_reduction
+        assert len(list(had.domain.points())) == 27
+
+    def test_reference_schedule_stages(self):
+        prog = helmholtz_poly()
+        stages = [prog.stage_of(s) for s in prog.statements]
+        assert stages == list(range(7))
+
+    def test_schedule_rank_covers_deepest_nest(self):
+        prog = helmholtz_poly()
+        assert prog.sched_rank == 5  # stage + 3 out + 1 red
+
+    def test_write_access_evaluates(self):
+        prog = helmholtz_poly(n=4)
+        s0 = prog.statements[0]
+        pt = (1, 2, 3, 0)
+        assert s0.write.fn.evaluate(pt) == (1, 2, 3)
+
+
+class TestDataflow:
+    def test_raw_dep_chain(self):
+        prog = helmholtz_poly()
+        deps = statement_raw_deps(prog)
+        # factorized Helmholtz: each temp feeds the next stage, u feeds s0
+        pairs = {(d.producer, d.consumer) for d in deps}
+        assert ("s0", "s1") in pairs
+        assert ("s5", "s6") in pairs
+        assert len(deps) == 6  # t0..t3, t, r each consumed once
+
+    def test_rar_pairs_for_shared_s(self):
+        prog = helmholtz_poly()
+        rars = [d for d in statement_rar_pairs(prog) if d.tensor == "S"]
+        assert len(rars) == 15  # 6 readers of S -> C(6,2)
+
+    def test_legality_check_rejects_bad_order(self):
+        prog = helmholtz_poly()
+        names = [s.name for s in prog.statements]
+        bad = with_statement_order(prog, list(reversed(names)))
+        with pytest.raises(PolyhedralError, match="illegal schedule"):
+            check_schedule_legal(bad)
+
+    def test_raw_element_relation_basic(self):
+        prog = helmholtz_poly(n=3)
+        raw = raw_element_relation(prog, "t")
+        assert raw is not None
+        # element t[0,0,0] is written at stage of its producer, read at Hadamard
+        pairs = raw.image_of_point((0, 0, 0))
+        assert pairs, "t[0,0,0] must have write->read schedule pairs"
+        rank = prog.sched_rank
+        for p in pairs:
+            w, r = p[:rank], p[rank:]
+            assert w <= r  # lexicographic via tuple comparison on equal rank
+
+    def test_raw_element_relation_none_for_input_only(self):
+        prog = helmholtz_poly(n=3)
+        assert raw_element_relation(prog, "S") is None  # never written in-kernel
+
+    def test_access_schedule_points(self):
+        prog = helmholtz_poly(n=3)
+        reads = access_schedule_points(prog, "D", "r")
+        writes = access_schedule_points(prog, "D", "w")
+        assert reads is not None and not reads.is_empty(exact=False)
+        assert writes is None or writes.is_empty(exact=False)
+
+    def test_mode_validation(self):
+        prog = helmholtz_poly(n=3)
+        with pytest.raises(PolyhedralError):
+            access_schedule_points(prog, "D", "x")
+
+
+class TestReschedule:
+    def test_reschedule_is_legal_and_no_worse(self):
+        prog = helmholtz_poly()
+        opt = reschedule(prog)
+        check_schedule_legal(opt)
+        assert raw_cost(opt) <= raw_cost(prog)
+
+    def test_reference_order_is_optimal_for_chain(self):
+        # the factorized Helmholtz is a pure chain: order must be unchanged
+        prog = helmholtz_poly()
+        opt = reschedule(prog)
+        order = [s.name for s in opt.statements_in_schedule_order()]
+        assert order == [f"s{i}" for i in range(7)]
+
+    def test_loop_permutation_prefers_register_accumulator(self):
+        prog = helmholtz_poly(n=5)
+        opt = reschedule(prog)
+        from repro.poly.codegen_ast import scheduled_loop_dims
+
+        for s in opt.statements:
+            dims = scheduled_loop_dims(opt, s)
+            if s.is_reduction:
+                # reduction dims must be the innermost contiguous suffix
+                n_red = len(s.reduction_dims)
+                assert set(dims[-n_red:]) == set(s.reduction_dims), (s.name, dims)
+            perm = [s.loop_dims.index(d) for d in dims]
+            strides = innermost_stride(opt, s, perm)
+            # the write access is never strided by the innermost loop
+            assert strides[0] in (0, 1), (s.name, strides)
+
+    def test_permutation_validation(self):
+        prog = helmholtz_poly()
+        with pytest.raises(PolyhedralError):
+            with_loop_permutation(prog, "s0", [0, 0, 1, 2])
+
+    def test_order_validation(self):
+        prog = helmholtz_poly()
+        with pytest.raises(PolyhedralError):
+            with_statement_order(prog, ["s0"])
+
+
+class TestLoopAst:
+    def test_trip_counts_factorized(self):
+        prog = reschedule(helmholtz_poly(n=11))
+        ast = build_loop_ast(prog)
+        trips = dict(kernel_trip_counts(ast))
+        contract_trips = [v for k, v in trips.items() if k != "s3"]
+        assert all(v == 11**4 for v in contract_trips)
+        assert trips["s3"] == 11**3  # Hadamard
+
+    def test_accumulator_style_detected(self):
+        prog = reschedule(helmholtz_poly(n=4))
+        ast = build_loop_ast(prog)
+        for node in ast.stages:
+            if node.stmt.kind == "contract":
+                assert node.accumulator_style
+                assert node.n_reduction_loops == 1
+
+    def test_stage_order_matches_schedule(self):
+        prog = reschedule(helmholtz_poly(n=4))
+        ast = build_loop_ast(prog)
+        names = [c.stmt.name for c in ast.stages]
+        assert names == [s.name for s in prog.statements_in_schedule_order()]

@@ -1,0 +1,143 @@
+"""Tests for canonicalization: contraction factorization and cleanups."""
+
+import numpy as np
+import pytest
+
+from repro.apps.helmholtz import (
+    inverse_helmholtz_program,
+    make_element_data,
+    reference_inverse_helmholtz,
+)
+from repro.teil import (
+    Contraction,
+    canonicalize,
+    factorize_contractions,
+    function_macs,
+    interpret,
+    lower_program,
+)
+from repro.teil.canonicalize import contraction_plan, propagate_copies
+from repro.teil.cost import macs_by_statement, peak_live_bytes
+from repro.teil.types import TensorKind
+
+
+class TestFactorization:
+    def test_helmholtz_factorizes_to_seven_statements(self):
+        """3-operand-chain x2 + Hadamard: 6 binary contractions + 1 ewise."""
+        fn = canonicalize(lower_program(inverse_helmholtz_program(11)))
+        assert len(fn.statements) == 7
+        contr = [s for s in fn.statements if isinstance(s.op, Contraction)]
+        assert len(contr) == 6
+        assert all(len(s.op.operands) == 2 for s in contr)
+
+    def test_transient_names_match_paper(self):
+        """Fig. 6 interface: temporaries t, r, t0, t1, t2, t3."""
+        fn = canonicalize(lower_program(inverse_helmholtz_program(11)))
+        temps = sorted(d.name for d in fn.temporaries())
+        assert temps == ["r", "t", "t0", "t1", "t2", "t3"]
+
+    def test_cost_reduction_o6_to_o4(self):
+        n = 11
+        raw = lower_program(inverse_helmholtz_program(n))
+        fac = canonicalize(raw)
+        # naive: 2 * n^6 + n^3 ; factorized: 6 * n^4 + n^3
+        assert function_macs(raw) == 2 * n**6 + n**3
+        assert function_macs(fac) == 6 * n**4 + n**3
+
+    def test_factorized_semantics_unchanged(self):
+        n = 6
+        raw = lower_program(inverse_helmholtz_program(n))
+        fac = canonicalize(raw)
+        data = make_element_data(n, seed=11)
+        ref = interpret(raw, data)["v"]
+        got = interpret(fac, data)["v"]
+        np.testing.assert_allclose(got, ref, rtol=1e-12)
+        np.testing.assert_allclose(
+            got, reference_inverse_helmholtz(data["S"], data["D"], data["u"]), rtol=1e-11
+        )
+
+    def test_factorize_keeps_binary_contractions(self):
+        fn = lower_program(inverse_helmholtz_program(4))
+        fac = factorize_contractions(fn)
+        again = factorize_contractions(fac)
+        assert len(again.statements) == len(fac.statements)
+
+    def test_no_factorize_ablation(self):
+        fn = canonicalize(lower_program(inverse_helmholtz_program(5)), factorize=False)
+        contr = [s for s in fn.statements if isinstance(s.op, Contraction)]
+        assert any(len(s.op.operands) == 4 for s in contr)
+
+    def test_plan_cost_is_optimal_for_helmholtz(self):
+        fn = lower_program(inverse_helmholtz_program(11))
+        op = fn.statements[0].op
+        extents = op.index_extents(fn.shapes())
+        _, cost = contraction_plan(op, extents)
+        assert cost == 3 * 11**4
+
+    def test_plan_matrix_chain(self):
+        # A[i,j] B[j,k] C[k,l] with shapes chosen so (A(BC)) wins
+        op = Contraction(
+            ("A", "B", "C"),
+            (("i", "j"), ("j", "k"), ("k", "l")),
+            ("i", "l"),
+        )
+        shapes = {"A": (2, 100), "B": (100, 3), "C": (3, 50)}
+        extents = op.index_extents(shapes)
+        plan, cost = contraction_plan(op, extents)
+        # optimal: (A B) then (AB C): 2*100*3 + 2*3*50 = 900
+        assert cost == 900
+
+    def test_greedy_path_on_wide_product(self):
+        # 12 operands exceeds the DP limit; greedy must still be correct
+        names = tuple(f"m{i}" for i in range(12))
+        indices = tuple((f"x{i}", f"x{i+1}") for i in range(12))
+        op = Contraction(names, indices, ("x0", "x12"))
+        shapes = {n: (2, 2) for n in names}
+        extents = op.index_extents(shapes)
+        plan, cost = contraction_plan(op, extents)
+        assert cost > 0
+
+
+class TestCleanups:
+    def test_copy_propagation(self):
+        import repro.cfdlang as C
+
+        prog = C.parse_program(
+            "var input a : [3]\nvar input b : [3]\nvar output c : [3]\nc = (a) * b"
+        )
+        fn = propagate_copies(lower_program(prog))
+        assert len(fn.statements) == 1
+
+    def test_dead_code_elimination(self):
+        from repro.teil.canonicalize import eliminate_dead
+        from repro.teil.program import Function, Statement
+        from repro.teil.ops import Contraction as Ct
+
+        fn = Function("f")
+        fn.declare("a", (3,), TensorKind.INPUT)
+        fn.declare("dead", (3,), TensorKind.TRANSIENT)
+        fn.declare("c", (3,), TensorKind.OUTPUT)
+        cp = lambda s, d: Statement(d, Ct((s,), (("i",),), ("i",)))
+        fn.statements = [cp("a", "dead"), cp("a", "c")]
+        out = eliminate_dead(fn)
+        assert len(out.statements) == 1
+        assert "dead" not in out.decls
+
+
+class TestCostModel:
+    def test_macs_by_statement_helmholtz(self):
+        n = 11
+        fn = canonicalize(lower_program(inverse_helmholtz_program(n)))
+        per = dict(macs_by_statement(fn))
+        contraction_costs = [v for k, v in per.items() if k != "r"]
+        assert all(c == n**4 for c in contraction_costs)
+        assert per["r"] == n**3
+
+    def test_peak_live_bytes_reasonable(self):
+        n = 11
+        fn = canonicalize(lower_program(inverse_helmholtz_program(n)))
+        peak = peak_live_bytes(fn)
+        # at least S + D + two 3-tensors must be live at the Hadamard
+        assert peak >= (n * n + 3 * n**3) * 8
+        total = sum(d.n_bytes for d in fn.decls.values())
+        assert peak <= total

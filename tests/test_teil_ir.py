@@ -1,0 +1,173 @@
+"""Unit tests for the tensor IR: lowering, validation, interpretation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.helmholtz import (
+    inverse_helmholtz_program,
+    make_element_data,
+    reference_inverse_helmholtz,
+)
+from repro.apps.gradient import gradient_program, reference_gradient, chebyshev_diff_matrix
+from repro.apps.interpolation import (
+    interpolation_program,
+    lagrange_interpolation_matrix,
+    reference_interpolation,
+)
+from repro.cfdlang import parse_program
+from repro.errors import IRError
+from repro.teil import (
+    Contraction,
+    Ewise,
+    EwiseKind,
+    Function,
+    Statement,
+    TensorKind,
+    interpret,
+    lower_program,
+)
+
+
+class TestLowering:
+    def test_helmholtz_lowering_structure(self):
+        fn = lower_program(inverse_helmholtz_program(5))
+        assert len(fn.statements) == 3
+        kinds = [type(s.op) for s in fn.statements]
+        assert kinds == [Contraction, Ewise, Contraction]
+        c0 = fn.statements[0].op
+        assert c0.operands == ("S", "S", "S", "u")
+        assert len(c0.reduction_indices) == 3
+
+    def test_copy_lowering(self):
+        prog = parse_program("var input a : [3 4]\nvar output b : [3 4]\nb = a")
+        fn = lower_program(prog)
+        assert len(fn.statements) == 1
+        assert fn.statements[0].op.is_copy
+
+    def test_nested_expression_gets_transient(self):
+        prog = parse_program(
+            "var input a : [3]\nvar input b : [3]\nvar input c : [3]\n"
+            "var output d : [3]\nd = (a + b) * c"
+        )
+        fn = lower_program(prog)
+        assert len(fn.statements) == 2
+        assert any(fn.decls[s.target].kind is TensorKind.TRANSIENT for s in fn.statements[:-1])
+
+    def test_validation_catches_bad_shape(self):
+        fn = Function("f")
+        fn.declare("a", (3,), TensorKind.INPUT)
+        fn.declare("b", (4,), TensorKind.OUTPUT)
+        idx = ("i",)
+        fn.statements.append(Statement("b", Contraction(("a",), (idx,), idx)))
+        with pytest.raises(IRError, match="shape"):
+            fn.validate()
+
+    def test_validation_catches_double_assign(self):
+        fn = Function("f")
+        fn.declare("a", (3,), TensorKind.INPUT)
+        fn.declare("b", (3,), TensorKind.OUTPUT)
+        st = Statement("b", Contraction(("a",), (("i",),), ("i",)))
+        fn.statements = [st, st]
+        with pytest.raises(IRError, match="SSA"):
+            fn.validate()
+
+    def test_validation_use_before_def(self):
+        fn = Function("f")
+        fn.declare("a", (3,), TensorKind.INPUT)
+        fn.declare("t", (3,), TensorKind.LOCAL)
+        fn.declare("b", (3,), TensorKind.OUTPUT)
+        c = lambda s, d: Statement(d, Contraction((s,), (("i",),), ("i",)))
+        fn.statements = [c("t", "b"), c("a", "t")]
+        with pytest.raises(IRError, match="before definition"):
+            fn.validate()
+
+
+class TestContractionOp:
+    def test_reduction_indices(self):
+        op = Contraction(
+            ("S", "u"), (("i", "l"), ("l", "j", "k")), ("i", "j", "k")
+        )
+        assert op.reduction_indices == ("l",)
+
+    def test_extent_conflict(self):
+        op = Contraction(("a", "b"), (("i",), ("i",)), ())
+        with pytest.raises(IRError, match="conflicting extents"):
+            op.index_extents({"a": (3,), "b": (4,)})
+
+    def test_output_index_must_exist(self):
+        with pytest.raises(IRError, match="not produced"):
+            Contraction(("a",), (("i",),), ("z",))
+
+    def test_repeated_output_index(self):
+        with pytest.raises(IRError, match="repeated"):
+            Contraction(("a",), (("i", "j"),), ("i", "i"))
+
+
+class TestInterpreter:
+    def test_helmholtz_matches_reference(self):
+        n = 6
+        fn = lower_program(inverse_helmholtz_program(n))
+        data = make_element_data(n, seed=7)
+        out = interpret(fn, data)
+        ref = reference_inverse_helmholtz(data["S"], data["D"], data["u"])
+        np.testing.assert_allclose(out["v"], ref, rtol=1e-12)
+
+    def test_interpolation_matches_reference(self):
+        n, q = 5, 9
+        fn = lower_program(interpolation_program(n, q))
+        rng = np.random.default_rng(3)
+        I = lagrange_interpolation_matrix(n, q)
+        u = rng.standard_normal((n, n, n))
+        out = interpret(fn, {"I": I, "u": u})
+        np.testing.assert_allclose(out["w"], reference_interpolation(I, u), rtol=1e-11)
+
+    def test_gradient_matches_reference(self):
+        n = 7
+        fn = lower_program(gradient_program(n))
+        rng = np.random.default_rng(4)
+        Dm = chebyshev_diff_matrix(n)
+        u = rng.standard_normal((n, n, n))
+        out = interpret(fn, {"Dm": Dm, "u": u})
+        gx, gy, gz = reference_gradient(Dm, u)
+        np.testing.assert_allclose(out["gx"], gx, rtol=1e-11)
+        np.testing.assert_allclose(out["gy"], gy, rtol=1e-11)
+        np.testing.assert_allclose(out["gz"], gz, rtol=1e-11)
+
+    def test_gradient_differentiates_polynomials_exactly(self):
+        # Chebyshev collocation derivative is exact for low-degree polynomials
+        n = 6
+        x = np.cos(np.pi * np.arange(n) / (n - 1))
+        Dm = chebyshev_diff_matrix(n)
+        X = x[:, None, None] * np.ones((n, n, n))
+        u = X**2
+        fn = lower_program(gradient_program(n))
+        out = interpret(fn, {"Dm": Dm, "u": u})
+        np.testing.assert_allclose(out["gx"], 2 * X, atol=1e-10)
+
+    def test_missing_input_raises(self):
+        fn = lower_program(inverse_helmholtz_program(4))
+        with pytest.raises(IRError, match="missing input"):
+            interpret(fn, {})
+
+    def test_wrong_shape_raises(self):
+        fn = lower_program(inverse_helmholtz_program(4))
+        data = make_element_data(5)
+        with pytest.raises(IRError, match="shape"):
+            interpret(fn, data)
+
+    def test_ewise_ops(self):
+        for kind, f in [
+            (EwiseKind.MUL, np.multiply),
+            (EwiseKind.DIV, np.divide),
+            (EwiseKind.ADD, np.add),
+            (EwiseKind.SUB, np.subtract),
+        ]:
+            fn = Function("f")
+            fn.declare("a", (4,), TensorKind.INPUT)
+            fn.declare("b", (4,), TensorKind.INPUT)
+            fn.declare("c", (4,), TensorKind.OUTPUT)
+            fn.statements = [Statement("c", Ewise(kind, "a", "b"))]
+            rng = np.random.default_rng(0)
+            a, b = rng.random(4) + 1, rng.random(4) + 1
+            out = interpret(fn.validate(), {"a": a, "b": b})
+            np.testing.assert_allclose(out["c"], f(a, b))
