@@ -8,16 +8,17 @@ exploration the DSL flow "simplifies" (Sec. I).
 from benchmarks.conftest import emit
 from repro.apps.helmholtz import inverse_helmholtz_program
 from repro.errors import SystemGenerationError
-from repro.flow import compile_flow
+from repro.flow import compile_many
 from repro.utils import ascii_table
 
 NE = 50_000
+DEGREES = (5, 7, 9, 11, 13)
 
 
 def build_rows():
+    results = compile_many(inverse_helmholtz_program(n) for n in DEGREES)
     rows = []
-    for n in (5, 7, 9, 11, 13):
-        res = compile_flow(inverse_helmholtz_program(n))
+    for n, res in zip(DEGREES, results):
         try:
             d = res.build_system()
             k = d.k

@@ -2,8 +2,12 @@
 """Design-space exploration: "our DSL-based flow simplifies the exploration
 of parameters and constraints such as on-chip memory usage" (abstract).
 
-Sweeps polynomial degree x sharing strategy, reporting per-kernel BRAMs,
-the maximum parallelism on the ZCU106, and end-to-end wall clock for a
+Sweeps polynomial degree x sharing strategy with the staged batch API
+(:func:`repro.compile_many`): all points share one stage cache, so the
+parse/lower/schedule/codegen front end runs once per degree while the
+memory stage runs once per (degree, sharing) point — the flow trace at
+the end shows exactly what was reused.  Reports per-kernel BRAMs, the
+maximum parallelism on the ZCU106, and end-to-end wall clock for a
 50,000-element simulation — the kind of exploration that would take one
 synthesis run per point with a manual flow.
 
@@ -12,50 +16,67 @@ synthesis run per point with a manual flow.
 
 from repro.apps.helmholtz import inverse_helmholtz_program
 from repro.errors import SystemGenerationError
-from repro.flow import FlowOptions, compile_flow
+from repro.flow import FlowOptions, FlowTrace, compile_many
 from repro.mnemosyne import SharingMode
 from repro.utils import ascii_table
 
 NE = 50_000
+DEGREES = (7, 9, 11, 13)
+MODES = (SharingMode.NONE, SharingMode.MATCHING, SharingMode.CLIQUE)
 
 
-def explore():
+def explore(trace=None):
+    points = [(n, mode) for n in DEGREES for mode in MODES]
+    grid = [
+        (inverse_helmholtz_program(n), FlowOptions(sharing=mode))
+        for n, mode in points
+    ]
+    results = compile_many(grid, trace=trace)
     rows = []
-    for n in (7, 9, 11, 13):
-        for mode in (SharingMode.NONE, SharingMode.MATCHING, SharingMode.CLIQUE):
-            res = compile_flow(
-                inverse_helmholtz_program(n), FlowOptions(sharing=mode)
-            )
-            try:
-                design = res.build_system()
-                sim = res.simulate(NE)
-                rows.append(
-                    (
-                        n,
-                        mode.value,
-                        res.memory.brams,
-                        design.k,
-                        f"{design.utilization()['bram'] * 100:.0f}%",
-                        f"{sim.total_seconds:.3f}s",
-                    )
+    for (n, mode), res in zip(points, results):
+        try:
+            design = res.build_system()
+            sim = res.simulate(NE)
+            rows.append(
+                (
+                    n,
+                    mode.value,
+                    res.memory.brams,
+                    design.k,
+                    f"{design.utilization()['bram'] * 100:.0f}%",
+                    sim.total_seconds,
                 )
-            except SystemGenerationError:
-                rows.append((n, mode.value, res.memory.brams, 0, "-", "does not fit"))
+            )
+        except SystemGenerationError:
+            rows.append((n, mode.value, res.memory.brams, 0, "-", None))
     return rows
 
 
+def _fmt_seconds(t):
+    return f"{t:.3f}s" if t is not None else "does not fit"
+
+
 def main() -> None:
-    rows = explore()
+    trace = FlowTrace()
+    rows = explore(trace)
     print(
         ascii_table(
             ["extent n", "sharing", "BRAM/kernel", "max k", "BRAM util", "50k elements"],
-            rows,
+            [r[:5] + (_fmt_seconds(r[5]),) for r in rows],
             title="Inverse Helmholtz design space on the ZCU106",
         )
     )
     print()
     best = min((r for r in rows if r[3] > 0 and r[0] == 11), key=lambda r: r[5])
-    print(f"best p=11 configuration: sharing={best[1]}, k={best[3]} -> {best[5]}")
+    print(f"best p=11 configuration: sharing={best[1]}, k={best[3]} "
+          f"-> {_fmt_seconds(best[5])}")
+    print()
+    print(trace.summary())
+    counts = trace.executed_counts()
+    print(
+        f"\ncache reuse: front end ran {counts['parse']}x for "
+        f"{len(rows)} design points ({counts['memory']} memory builds)"
+    )
 
 
 if __name__ == "__main__":

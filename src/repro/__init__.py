@@ -18,9 +18,24 @@ Quickstart::
     print(result.memory.summary())       # 18 BRAM36 with sharing
     design = result.build_system()       # k = m = 16 on the ZCU106
     print(result.simulate(50_000))       # the paper's CFD run
+
+The flow is built from named, cacheable stages; for partial runs,
+intermediate inspection, and cached design-space sweeps use the session
+API (:class:`repro.Flow`, :func:`repro.compile_many`) — see
+:mod:`repro.flow`.
 """
 
-from repro.flow import FlowOptions, FlowResult, compile_flow, write_artifacts
+from repro.flow import (
+    Flow,
+    FlowOptions,
+    FlowResult,
+    FlowTrace,
+    StageCache,
+    compile_flow,
+    compile_many,
+    stage_names,
+    write_artifacts,
+)
 from repro.cfdlang import parse_program, analyze, ProgramBuilder
 from repro.teil import lower_program, canonicalize, interpret
 from repro.mnemosyne import SharingMode
@@ -29,9 +44,14 @@ from repro.system import ZCU106, Board
 __version__ = "1.0.0"
 
 __all__ = [
+    "Flow",
     "FlowOptions",
     "FlowResult",
+    "FlowTrace",
+    "StageCache",
     "compile_flow",
+    "compile_many",
+    "stage_names",
     "write_artifacts",
     "parse_program",
     "analyze",

@@ -1,13 +1,43 @@
 """The end-to-end CFDlang-to-bitstream flow (Fig. 3).
 
-:func:`compile_flow` runs: frontend -> tensor IR -> canonicalization ->
-reference schedule -> layout materialization -> rescheduling -> C99 code
-generation + Mnemosyne metadata -> HLS synthesis (model) -> memory
-subsystem generation -> and exposes system generation + simulation.
+The flow is a registry of named stages (:mod:`repro.flow.stages`):
+frontend -> tensor IR -> canonicalization -> reference schedule -> layout
+materialization -> rescheduling -> C99 code generation + Mnemosyne
+metadata -> memory subsystem generation -> HLS synthesis (model), plus
+system generation + simulation on the result.
+
+:func:`compile_flow` runs everything in one shot.  :class:`Flow` is the
+session API: ``run_until``/``override``/``resume`` for partial runs and
+intermediate inspection, with a content-keyed :class:`StageCache` so
+design-space sweeps reuse the shared front end, and a :class:`FlowTrace`
+recording per-stage timing and cache behavior.  :func:`compile_many`
+batches a whole DSE grid against one shared cache.
 """
 
 from repro.flow.options import FlowOptions
 from repro.flow.pipeline import FlowResult, compile_flow
+from repro.flow.session import (
+    Flow,
+    FlowTrace,
+    StageCache,
+    StageEvent,
+    compile_many,
+)
+from repro.flow.stages import Stage, get_stage, registered_stages, stage_names
 from repro.flow.artifacts import write_artifacts
 
-__all__ = ["FlowOptions", "FlowResult", "compile_flow", "write_artifacts"]
+__all__ = [
+    "FlowOptions",
+    "FlowResult",
+    "compile_flow",
+    "write_artifacts",
+    "Flow",
+    "FlowTrace",
+    "StageCache",
+    "StageEvent",
+    "compile_many",
+    "Stage",
+    "get_stage",
+    "registered_stages",
+    "stage_names",
+]

@@ -12,7 +12,8 @@ import sys
 from repro.codegen.hlsdirectives import HlsDirectives
 from repro.flow.artifacts import write_artifacts
 from repro.flow.options import FlowOptions
-from repro.flow.pipeline import compile_flow
+from repro.flow.session import Flow, FlowTrace
+from repro.flow.stages import registered_stages, stage_names
 from repro.mnemosyne.sharing import SharingMode
 
 
@@ -44,11 +45,36 @@ def build_parser() -> argparse.ArgumentParser:
                    default="flatten")
     p.add_argument("--simulate", action="store_true",
                    help="print the performance simulation for the system")
+    p.add_argument("--stop-after", metavar="STAGE", default=None,
+                   help="run the flow only through the named stage and "
+                        "report the artifacts produced (see --list-stages)")
+    p.add_argument("--trace", action="store_true",
+                   help="print per-stage timing and cache behavior")
+    p.add_argument("--list-stages", action="store_true",
+                   help="list the registered compiler stages and exit")
     return p
+
+
+def _print_stages() -> None:
+    from repro.utils import ascii_table
+
+    rows = [
+        (s.name, ", ".join(s.inputs), ", ".join(s.outputs), s.description)
+        for s in registered_stages()
+    ]
+    print(ascii_table(["stage", "inputs", "outputs", "description"], rows,
+                      title="Registered flow stages"))
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list_stages:
+        _print_stages()
+        return 0
+    if args.stop_after is not None and args.stop_after not in stage_names():
+        print(f"error: unknown stage {args.stop_after!r}; "
+              f"stages are: {', '.join(stage_names())}", file=sys.stderr)
+        return 2
     if args.app:
         from repro.apps import (
             gradient_program,
@@ -80,7 +106,18 @@ def main(argv=None) -> int:
         sharing=sharing,
         temporaries_internal=args.temporaries_internal,
     )
-    result = compile_flow(source, options)
+    trace = FlowTrace() if (args.trace or args.stop_after) else None
+    flow = Flow(source, options, trace=trace)
+    if args.stop_after:
+        flow.run_until(args.stop_after)
+        print(f"stopped after stage {args.stop_after!r}; "
+              f"completed: {', '.join(flow.completed_stages())}")
+        print("available artifacts: "
+              + ", ".join(k for k in flow.state if k != "source"))
+        if trace is not None:
+            print(trace.summary())
+        return 0
+    result = flow.run()
     paths = write_artifacts(result, args.output, k=args.k, m=args.m, n_elements=args.ne)
     print(result.hls.summary())
     print(result.memory.summary())
@@ -89,6 +126,8 @@ def main(argv=None) -> int:
     if args.simulate:
         sim = result.simulate(args.ne, args.k, args.m)
         print(sim)
+    if trace is not None:
+        print(trace.summary())
     print(f"artifacts written to: {args.output}")
     for name, path in sorted(paths.items()):
         print(f"  {name}: {path}")

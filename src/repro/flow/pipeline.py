@@ -1,33 +1,31 @@
-"""The flow driver: CFDlang source/AST in, full design out."""
+"""The flow driver: CFDlang source/AST in, full design out.
+
+The heavy lifting lives in :mod:`repro.flow.stages` (the stage registry)
+and :mod:`repro.flow.session` (the :class:`~repro.flow.session.Flow`
+session with caching and tracing); :func:`compile_flow` is the one-shot
+convenience wrapper that runs every stage and returns a
+:class:`FlowResult`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
-from repro.cfdlang import Program, analyze, parse_program
-from repro.codegen import KernelCode, generate_kernel
+from repro.cfdlang import Program
+from repro.codegen import KernelCode
 from repro.errors import SystemGenerationError
-from repro.hls import HlsReport, synthesize
-from repro.layout import Layout, default_layouts
-from repro.memory import CompatibilityGraph, build_compatibility_graph
-from repro.mnemosyne import (
-    MnemosyneConfig,
-    PortClass,
-    SharingMode,
-    build_memory_subsystem,
-)
-from repro.mnemosyne.config import config_from_compat, port_class_assignment
+from repro.hls import HlsReport
+from repro.memory import CompatibilityGraph
+from repro.mnemosyne import MnemosyneConfig, PortClass
 from repro.mnemosyne.plm import MemorySubsystem
 from repro.flow.options import FlowOptions
-from repro.poly.reschedule import RescheduleOptions, reschedule
-from repro.poly.schedule import PolyProgram, reference_schedule
+from repro.poly.schedule import PolyProgram
 from repro.sim.simulator import SimulationResult, simulate_system
 from repro.system.integration import SystemDesign, build_system
 from repro.system.replicate import max_parallel_config
-from repro.teil import canonicalize, lower_program
 from repro.teil.program import Function
-from repro.teil.types import DTYPE_BYTES, TensorKind
+from repro.teil.types import TensorKind
 
 
 @dataclass
@@ -106,114 +104,14 @@ class FlowResult:
         return simulate_system(self.build_system(k, m), n_elements)
 
 
-def _layouts_for(fn: Function, options: FlowOptions) -> Dict[str, Layout]:
-    layouts = default_layouts(fn.shapes())
-    for name, kind in options.layout_overrides.items():
-        decl = fn.decls[name]
-        if kind == "row_major":
-            layouts[name] = Layout.row_major(name, decl.shape)
-        elif kind == "column_major":
-            layouts[name] = Layout.column_major(name, decl.shape)
-        else:
-            raise SystemGenerationError(f"unknown layout {kind!r} for {name!r}")
-    return layouts
-
-
 def compile_flow(
     source: Union[str, Program], options: Optional[FlowOptions] = None
 ) -> FlowResult:
-    """Run the complete compiler flow on CFDlang source (or a built AST)."""
-    options = options or FlowOptions()
-    program = parse_program(source) if isinstance(source, str) else source
-    analyze(program)
-    fn = canonicalize(
-        lower_program(program, options.kernel_name, analyzed=True),
-        factorize=options.factorize,
-    )
-    layouts = _layouts_for(fn, options)
-    poly = reference_schedule(fn, layouts)
-    poly = reschedule(
-        poly,
-        RescheduleOptions(
-            reduction_placement=options.effective_reduction_placement()
-        ),
-    )
-    kernel = generate_kernel(
-        poly,
-        directives=options.directives,
-        temporaries_internal=options.temporaries_internal,
-        name=options.kernel_name,
-    )
-    compat = build_compatibility_graph(poly)
-    port_classes = port_class_assignment(poly)
-    if options.temporaries_internal:
-        # Only interface arrays are exported; the kernel's internal schedule
-        # is invisible to Mnemosyne, so no compatibility metadata applies
-        # ("Mnemosyne only as PLM generator").  The accelerator serializes
-        # rounds itself, so single-port PLMs suffice, and small static
-        # operands stay inside the kernel as LUTRAM.
-        from repro.mnemosyne.bram import hls_internal_is_lutram
+    """Run the complete compiler flow on CFDlang source (or a built AST).
 
-        iface = [d.name for d in fn.interface()]
-        keep = [
-            a
-            for a in iface
-            if not (
-                port_classes[a] is PortClass.ACCELERATOR_ONLY
-                and hls_internal_is_lutram(compat.sizes[a])
-            )
-        ]
-        compat_ifc = CompatibilityGraph(
-            arrays=keep,
-            interface_arrays=keep,
-            sizes={a: compat.sizes[a] for a in keep},
-            liveness={a: compat.liveness[a] for a in keep},
-            address_space_edges=set(),
-            interface_edges=set(),
-        )
-        mn_config = config_from_compat(
-            compat_ifc, {a: PortClass.ACCELERATOR_ONLY for a in keep}
-        )
-    else:
-        mn_config = config_from_compat(
-            compat, port_classes, banks=dict(options.directives.array_partition)
-        )
-    if options.partition_merges and not options.temporaries_internal:
-        # Explicit address-space sharing via partitioning maps (Sec. IV-D):
-        # the user-declared merge map is validated (injective fixpoint +
-        # lifetime disjointness) and handed to Mnemosyne as fixed groups.
-        from repro.layout.partition import merge_arrays
+    Back-compat wrapper over the staged API: equivalent to
+    ``Flow(source, options).run()`` with a private, per-call stage cache.
+    """
+    from repro.flow.session import Flow
 
-        pm = merge_arrays({k: list(v) for k, v in options.partition_merges.items()})
-        pm.check_fixpoint()
-        sizes = {a: compat.sizes[a] for a in pm.sources()}
-        overlapping = pm.overlapping_pairs(sizes)
-        for a, b in overlapping:
-            if not compat.address_space_compatible(a, b):
-                raise SystemGenerationError(
-                    f"partition map merges {a!r} and {b!r}, whose lifetimes overlap"
-                )
-        merged = {a for group in options.partition_merges.values() for a in group}
-        groups = [tuple(v) for v in options.partition_merges.values()]
-        groups += [(a,) for a in mn_config.arrays if a not in merged]
-        memory = build_memory_subsystem(mn_config, options.sharing, groups=groups)
-    else:
-        memory = build_memory_subsystem(mn_config, options.sharing)
-    hls = synthesize(
-        kernel,
-        options.directives,
-        clock_mhz=options.clock_mhz,
-        fuse_init=options.fuse_init,
-    )
-    return FlowResult(
-        options=options,
-        program=program,
-        function=fn,
-        poly=poly,
-        kernel=kernel,
-        compat=compat,
-        mnemosyne_config=mn_config,
-        memory=memory,
-        hls=hls,
-        port_classes=port_classes,
-    )
+    return Flow(source, options).run()

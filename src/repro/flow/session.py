@@ -1,0 +1,360 @@
+"""Flow sessions: staged execution with caching, tracing, and batch DSE.
+
+:class:`Flow` drives the stage registry of :mod:`repro.flow.stages` over
+one (source, options) pair.  It supports partial runs (``run_until``),
+inspection and override of intermediate artifacts, and ``resume``.  A
+:class:`StageCache` shared between sessions lets design-space sweeps that
+vary only late parameters (sharing mode, clock, k/m) reuse the whole
+front end; :class:`FlowTrace` records what actually ran and for how long.
+
+    cache, trace = StageCache(), FlowTrace()
+    for mode in SharingMode:
+        res = Flow(src, FlowOptions(sharing=mode), cache=cache, trace=trace).run()
+    trace.executed_counts()["parse"]   # -> 1: front end ran once for 3 points
+
+``compile_many`` wraps this pattern for whole DSE grids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SystemGenerationError
+from repro.flow.options import FlowOptions
+from repro.flow.stages import (
+    FINAL_STAGE,
+    STAGE_API_VERSION,
+    Stage,
+    get_stage,
+    producer_of,
+    registered_stages,
+    source_fingerprint,
+    stage_names,
+)
+
+
+class StageCache:
+    """Content-keyed store of stage outputs, shared between flow sessions.
+
+    Keys chain structurally: a stage's key hashes its producers' keys and
+    its own option fingerprint, so equality of keys implies equality of the
+    whole upstream computation.  Cached artifacts are returned by reference
+    — treat them as immutable.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, outputs: Dict[str, object]) -> None:
+        self._entries[key] = outputs
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One stage execution (or cache hit) observed by a trace."""
+
+    stage: str
+    seconds: float
+    cached: bool
+
+
+class FlowTrace:
+    """Per-stage timing/observation record, shared across flow sessions.
+
+    ``observers`` are called as ``observer(event)`` after every stage; use
+    them for live progress reporting during long sweeps.
+    """
+
+    def __init__(self, observers: Sequence = ()) -> None:
+        self.events: List[StageEvent] = []
+        self.observers = list(observers)
+
+    def record(self, stage: str, seconds: float, cached: bool) -> None:
+        event = StageEvent(stage, seconds, cached)
+        self.events.append(event)
+        for obs in self.observers:
+            obs(event)
+
+    # -- aggregation ---------------------------------------------------------
+    def executed_counts(self) -> Dict[str, int]:
+        """How many times each stage actually ran (cache hits excluded)."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            if not e.cached:
+                out[e.stage] = out.get(e.stage, 0) + 1
+        return out
+
+    def cached_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            if e.cached:
+                out[e.stage] = out.get(e.stage, 0) + 1
+        return out
+
+    def seconds_by_stage(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for e in self.events:
+            if not e.cached:
+                out[e.stage] = out.get(e.stage, 0.0) + e.seconds
+        return out
+
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.events if not e.cached)
+
+    def summary(self) -> str:
+        from repro.utils import ascii_table
+
+        executed = self.executed_counts()
+        cached = self.cached_counts()
+        seconds = self.seconds_by_stage()
+        rows = []
+        for name in stage_names():
+            if name not in executed and name not in cached:
+                continue
+            rows.append(
+                (
+                    name,
+                    executed.get(name, 0),
+                    cached.get(name, 0),
+                    f"{seconds.get(name, 0.0) * 1e3:.2f}",
+                )
+            )
+        rows.append(("total", sum(executed.values()), sum(cached.values()),
+                     f"{self.total_seconds() * 1e3:.2f}"))
+        return ascii_table(
+            ["stage", "runs", "cache hits", "time (ms)"],
+            rows,
+            title="Flow trace",
+        )
+
+
+_override_counter = 0
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(p.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class Flow:
+    """One staged compilation session over a (source, options) pair.
+
+    ``run()`` executes everything and returns a
+    :class:`~repro.flow.pipeline.FlowResult`; ``run_until(name)`` stops
+    after the named stage, leaving intermediate artifacts in :attr:`state`
+    for inspection.  ``override(key=value)`` replaces an artifact and
+    invalidates everything downstream; ``resume()`` finishes the run.
+    """
+
+    def __init__(
+        self,
+        source,
+        options: Optional[FlowOptions] = None,
+        *,
+        cache: Optional[StageCache] = None,
+        trace: Optional[FlowTrace] = None,
+    ) -> None:
+        self.source = source
+        self.options = options or FlowOptions()
+        self.cache = cache if cache is not None else StageCache()
+        self.trace = trace
+        self.state: Dict[str, object] = {"source": source}
+        self._keys: Dict[str, str] = {
+            "source": _digest("source", str(STAGE_API_VERSION),
+                              source_fingerprint(source))
+        }
+        self._completed: List[str] = []
+        #: state keys holding user-overridden (or override-derived) values;
+        #: stages reading them bypass the shared cache entirely
+        self._tainted: set = set()
+
+    # -- state access --------------------------------------------------------
+    def __getitem__(self, key: str):
+        try:
+            return self.state[key]
+        except KeyError:
+            raise SystemGenerationError(
+                f"state key {key!r} not available; run the "
+                f"{producer_of(key)!r} stage first (completed: "
+                f"{', '.join(self._completed) or 'none'})"
+            ) from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.state
+
+    def completed_stages(self) -> List[str]:
+        return list(self._completed)
+
+    def override(self, **entries) -> "Flow":
+        """Replace intermediate artifacts; downstream stages recompute.
+
+        Overridden entries get a unique cache identity, so later stages
+        neither read from nor pollute the shared cache for them.
+        """
+        global _override_counter
+        names = stage_names()
+        # apply in pipeline order: an upstream override's invalidation must
+        # not clobber a downstream override installed in the same call
+        ordered = sorted(
+            ((producer_of(key), key, value) for key, value in entries.items()),
+            key=lambda t: -1 if t[0] == "source" else names.index(t[0]),
+        )
+        for producer, key, value in ordered:
+            self.state[key] = value
+            if producer == "source":
+                # replacing the input: content-keyed like the constructor,
+                # so the whole pipeline recomputes (or re-hits the cache)
+                self.source = value
+                self._keys[key] = _digest("source", str(STAGE_API_VERSION),
+                                          source_fingerprint(value))
+                stale_from = 0
+            else:
+                _override_counter += 1
+                self._keys[key] = _digest("override", key, str(_override_counter))
+                self._tainted.add(key)
+                stale_from = names.index(producer) + 1
+            # drop every stage strictly after the producer (a coarse but
+            # safe linear invalidation: stage order is topological; stages
+            # whose inputs are in fact unchanged come back as cache hits)
+            for stale in names[stale_from:]:
+                if stale in self._completed:
+                    self._completed.remove(stale)
+                    for out in get_stage(stale).outputs:
+                        self.state.pop(out, None)
+                        self._keys.pop(out, None)
+                        self._tainted.discard(out)
+            if producer == "source":
+                continue
+            # the producer's stage is satisfied by the override (plus any
+            # of its other already-computed outputs)
+            prod_stage = get_stage(producer)
+            if (producer not in self._completed
+                    and all(o in self.state for o in prod_stage.outputs)):
+                self._completed.append(producer)
+        return self
+
+    # -- execution -----------------------------------------------------------
+    def _stage_key(self, stage: Stage) -> str:
+        parts = [stage.name, str(STAGE_API_VERSION)]
+        for inp in stage.inputs:
+            parts.append(self._keys[inp])
+        parts.append(repr(stage.params(self.options)))
+        return _digest(*parts)
+
+    def _execute(self, stage: Stage) -> None:
+        missing = [i for i in stage.inputs if i not in self.state]
+        if missing:
+            raise SystemGenerationError(
+                f"stage {stage.name!r} needs {missing} but no earlier stage "
+                "produced them"
+            )
+        key = self._stage_key(stage)
+        tainted = any(inp in self._tainted for inp in stage.inputs)
+        t0 = time.perf_counter()
+        cached = False
+        if tainted:
+            # downstream of an override: one-off values, keep them (and
+            # their derivatives) out of the shared cache
+            outputs = stage.run(self.state, self.options)
+        else:
+            outputs = self.cache.get(key)
+            cached = outputs is not None
+            if outputs is None:
+                outputs = stage.run(self.state, self.options)
+                self.cache.put(key, outputs)
+        seconds = time.perf_counter() - t0
+        self.state.update(outputs)
+        for out in stage.outputs:
+            self._keys[out] = _digest(key, out)
+            if tainted:
+                self._tainted.add(out)
+        self._completed.append(stage.name)
+        if self.trace is not None:
+            self.trace.record(stage.name, seconds, cached)
+
+    def run_until(self, stage_name: str) -> "Flow":
+        """Execute stages in pipeline order through ``stage_name``."""
+        get_stage(stage_name)  # validate early
+        for stage in registered_stages():
+            if stage.name not in self._completed:
+                self._execute(stage)
+            if stage.name == stage_name:
+                break
+        return self
+
+    def resume(self) -> "FlowResult":
+        """Finish the pipeline from wherever it stopped and build the result."""
+        return self.run()
+
+    def run(self) -> "FlowResult":
+        """Execute the full pipeline and assemble a :class:`FlowResult`."""
+        from repro.flow.pipeline import FlowResult
+
+        self.run_until(FINAL_STAGE)
+        return FlowResult(
+            options=self.options,
+            program=self.state["program"],
+            function=self.state["function"],
+            poly=self.state["poly"],
+            kernel=self.state["kernel"],
+            compat=self.state["compat"],
+            mnemosyne_config=self.state["mnemosyne_config"],
+            memory=self.state["memory"],
+            hls=self.state["hls"],
+            port_classes=self.state["port_classes"],
+        )
+
+
+FlowJob = Union[object, Tuple[object, Optional[FlowOptions]]]
+
+
+def compile_many(
+    jobs: Iterable[FlowJob],
+    *,
+    cache: Optional[StageCache] = None,
+    trace: Optional[FlowTrace] = None,
+) -> List["FlowResult"]:
+    """Compile a batch of design points against one shared stage cache.
+
+    Each job is a CFDlang source (text or AST) or a ``(source, options)``
+    pair.  Results come back in job order.  All jobs share ``cache`` (a
+    fresh one by default), so grids that vary only late parameters run the
+    front end once per distinct program.
+    """
+    cache = cache if cache is not None else StageCache()
+    results: List["FlowResult"] = []
+    for job in jobs:
+        if isinstance(job, tuple) and len(job) == 2 and (
+            job[1] is None or isinstance(job[1], FlowOptions)
+        ):
+            source, options = job
+        else:
+            source, options = job, None
+        results.append(Flow(source, options, cache=cache, trace=trace).run())
+    return results

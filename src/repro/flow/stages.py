@@ -1,0 +1,400 @@
+"""The compiler flow as explicit, composable stages.
+
+Each phase of the CFDlang-to-FPGA flow (Fig. 3) is a :class:`Stage` with
+declared inputs/outputs, registered in a linear pipeline registry.  A stage
+consumes named entries of the flow state (a plain ``{key: artifact}`` dict)
+and produces new entries; the special key ``"source"`` is seeded by the
+:class:`~repro.flow.session.Flow` session from the user's DSL text or AST.
+
+Stages also declare which :class:`~repro.flow.options.FlowOptions` fields
+they depend on (via ``params``), which is what makes the stage cache sound:
+a stage's cache key is derived from its producers' keys plus its own
+parameter fingerprint, so a sweep that varies only late parameters (e.g.
+``SharingMode`` or the clock) reuses every front-end artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.cfdlang import analyze, parse_program
+from repro.cfdlang.ast import Program
+from repro.codegen import generate_kernel
+from repro.errors import SystemGenerationError
+from repro.flow.options import FlowOptions
+from repro.layout import Layout, default_layouts
+from repro.memory import CompatibilityGraph, build_compatibility_graph
+from repro.mnemosyne import PortClass, build_memory_subsystem
+from repro.mnemosyne.config import config_from_compat, port_class_assignment
+from repro.poly.reschedule import RescheduleOptions, reschedule
+from repro.poly.schedule import reference_schedule
+from repro.teil import canonicalize, lower_program
+from repro.teil.program import Function
+
+#: bump when a stage's semantics change, to invalidate stale cache entries
+STAGE_API_VERSION = 1
+
+StageFn = Callable[[Mapping[str, object], FlowOptions], Dict[str, object]]
+ParamFn = Callable[[FlowOptions], Tuple]
+
+
+def _no_params(options: FlowOptions) -> Tuple:
+    return ()
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named compiler phase with declared dataflow.
+
+    ``inputs`` name the state entries the stage reads; ``outputs`` the
+    entries it writes.  ``params`` extracts the (hashable) option values
+    the stage's result depends on — anything not listed is assumed not to
+    influence the outputs, which is what permits cross-run cache reuse.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    run: StageFn = field(repr=False)
+    params: ParamFn = field(default=_no_params, repr=False)
+    description: str = ""
+
+
+_REGISTRY: "Dict[str, Stage]" = {}
+
+
+def register_stage(stage: Stage) -> Stage:
+    if stage.name in _REGISTRY:
+        raise ValueError(f"duplicate stage {stage.name!r}")
+    for out in stage.outputs:
+        if any(out in s.outputs for s in _REGISTRY.values()):
+            raise ValueError(f"state key {out!r} produced by two stages")
+    _REGISTRY[stage.name] = stage
+    return stage
+
+
+def registered_stages() -> List[Stage]:
+    """All stages in pipeline order."""
+    return list(_REGISTRY.values())
+
+
+def stage_names() -> List[str]:
+    return list(_REGISTRY)
+
+
+def get_stage(name: str) -> Stage:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SystemGenerationError(
+            f"unknown stage {name!r}; stages are: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def producer_of(state_key: str) -> str:
+    """Name of the stage producing ``state_key`` (or 'source' for the seed)."""
+    if state_key == "source":
+        return "source"
+    for stage in _REGISTRY.values():
+        if state_key in stage.outputs:
+            return stage.name
+    raise SystemGenerationError(f"no stage produces state key {state_key!r}")
+
+
+def _directives_fingerprint(options: FlowOptions) -> Tuple:
+    d = options.directives
+    return (
+        d.pipeline,
+        d.pipeline_ii,
+        d.unroll_factor,
+        tuple(sorted(d.array_partition.items())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# stage bodies
+# ---------------------------------------------------------------------------
+
+def _run_parse(state, options):
+    source = state["source"]
+    program = parse_program(source) if isinstance(source, str) else source
+    return {"ast": program}
+
+
+def _run_analyze(state, options):
+    program = state["ast"]
+    analyze(program)
+    return {"program": program}
+
+
+def _run_lower(state, options):
+    fn = canonicalize(
+        lower_program(state["program"], options.kernel_name, analyzed=True),
+        factorize=options.factorize,
+    )
+    return {"function": fn}
+
+
+def layouts_for(fn: Function, options: FlowOptions) -> Dict[str, Layout]:
+    """Materialize layouts, applying (validated) user overrides."""
+    layouts = default_layouts(fn.shapes())
+    for name, kind in options.layout_overrides.items():
+        if name not in fn.decls:
+            raise SystemGenerationError(
+                f"layout override for undeclared tensor {name!r}; "
+                f"declared tensors are: {', '.join(sorted(fn.decls))}"
+            )
+        decl = fn.decls[name]
+        if kind == "row_major":
+            layouts[name] = Layout.row_major(name, decl.shape)
+        elif kind == "column_major":
+            layouts[name] = Layout.column_major(name, decl.shape)
+        else:
+            raise SystemGenerationError(f"unknown layout {kind!r} for {name!r}")
+    return layouts
+
+
+def _run_layouts(state, options):
+    return {"layouts": layouts_for(state["function"], options)}
+
+
+def _run_schedule(state, options):
+    return {"poly_ref": reference_schedule(state["function"], state["layouts"])}
+
+
+def _run_reschedule(state, options):
+    poly = reschedule(
+        state["poly_ref"],
+        RescheduleOptions(
+            reduction_placement=options.effective_reduction_placement()
+        ),
+    )
+    return {"poly": poly}
+
+
+def _run_codegen(state, options):
+    kernel = generate_kernel(
+        state["poly"],
+        directives=options.directives,
+        temporaries_internal=options.temporaries_internal,
+        name=options.kernel_name,
+    )
+    return {"kernel": kernel}
+
+
+def _run_compat(state, options):
+    return {"compat": build_compatibility_graph(state["poly"])}
+
+
+def _run_port_classes(state, options):
+    return {"port_classes": port_class_assignment(state["poly"])}
+
+
+def _run_mnemosyne_config(state, options):
+    fn = state["function"]
+    compat = state["compat"]
+    port_classes = state["port_classes"]
+    if options.temporaries_internal:
+        # Only interface arrays are exported; the kernel's internal schedule
+        # is invisible to Mnemosyne, so no compatibility metadata applies
+        # ("Mnemosyne only as PLM generator").  The accelerator serializes
+        # rounds itself, so single-port PLMs suffice, and small static
+        # operands stay inside the kernel as LUTRAM.
+        from repro.mnemosyne.bram import hls_internal_is_lutram
+
+        iface = [d.name for d in fn.interface()]
+        keep = [
+            a
+            for a in iface
+            if not (
+                port_classes[a] is PortClass.ACCELERATOR_ONLY
+                and hls_internal_is_lutram(compat.sizes[a])
+            )
+        ]
+        compat_ifc = CompatibilityGraph(
+            arrays=keep,
+            interface_arrays=keep,
+            sizes={a: compat.sizes[a] for a in keep},
+            liveness={a: compat.liveness[a] for a in keep},
+            address_space_edges=set(),
+            interface_edges=set(),
+        )
+        mn_config = config_from_compat(
+            compat_ifc, {a: PortClass.ACCELERATOR_ONLY for a in keep}
+        )
+    else:
+        mn_config = config_from_compat(
+            compat, port_classes, banks=dict(options.directives.array_partition)
+        )
+    return {"mnemosyne_config": mn_config}
+
+
+def _run_memory(state, options):
+    compat = state["compat"]
+    mn_config = state["mnemosyne_config"]
+    if options.partition_merges and not options.temporaries_internal:
+        # Explicit address-space sharing via partitioning maps (Sec. IV-D):
+        # the user-declared merge map is validated (injective fixpoint +
+        # lifetime disjointness) and handed to Mnemosyne as fixed groups.
+        from repro.layout.partition import merge_arrays
+
+        declared = set(state["function"].decls)
+        for target, group in options.partition_merges.items():
+            for a in group:
+                if a not in declared:
+                    raise SystemGenerationError(
+                        f"partition map {target!r} merges undeclared tensor "
+                        f"{a!r}; declared tensors are: {', '.join(sorted(declared))}"
+                    )
+        pm = merge_arrays({k: list(v) for k, v in options.partition_merges.items()})
+        pm.check_fixpoint()
+        sizes = {a: compat.sizes[a] for a in pm.sources()}
+        overlapping = pm.overlapping_pairs(sizes)
+        for a, b in overlapping:
+            if not compat.address_space_compatible(a, b):
+                raise SystemGenerationError(
+                    f"partition map merges {a!r} and {b!r}, whose lifetimes overlap"
+                )
+        merged = {a for group in options.partition_merges.values() for a in group}
+        groups = [tuple(v) for v in options.partition_merges.values()]
+        groups += [(a,) for a in mn_config.arrays if a not in merged]
+        memory = build_memory_subsystem(mn_config, options.sharing, groups=groups)
+    else:
+        memory = build_memory_subsystem(mn_config, options.sharing)
+    return {"memory": memory}
+
+
+def _run_hls_synth(state, options):
+    from repro.hls import synthesize
+
+    hls = synthesize(
+        state["kernel"],
+        options.directives,
+        clock_mhz=options.clock_mhz,
+        fuse_init=options.fuse_init,
+    )
+    return {"hls": hls}
+
+
+# ---------------------------------------------------------------------------
+# the registry, in pipeline order
+# ---------------------------------------------------------------------------
+
+register_stage(Stage(
+    name="parse",
+    inputs=("source",),
+    outputs=("ast",),
+    run=_run_parse,
+    description="CFDlang text to AST (built ASTs pass through)",
+))
+register_stage(Stage(
+    name="analyze",
+    inputs=("ast",),
+    outputs=("program",),
+    run=_run_analyze,
+    description="semantic analysis: names, shapes, kinds",
+))
+register_stage(Stage(
+    name="lower",
+    inputs=("program",),
+    outputs=("function",),
+    run=_run_lower,
+    params=lambda o: (o.kernel_name, o.factorize),
+    description="lower to TeIL + canonicalize (contraction factorization)",
+))
+register_stage(Stage(
+    name="layouts",
+    inputs=("function",),
+    outputs=("layouts",),
+    run=_run_layouts,
+    params=lambda o: tuple(sorted(o.layout_overrides.items())),
+    description="materialize memory layouts (row/column-major overrides)",
+))
+register_stage(Stage(
+    name="schedule",
+    inputs=("function", "layouts"),
+    outputs=("poly_ref",),
+    run=_run_schedule,
+    description="reference polyhedral schedule",
+))
+register_stage(Stage(
+    name="reschedule",
+    inputs=("poly_ref",),
+    outputs=("poly",),
+    run=_run_reschedule,
+    params=lambda o: (o.effective_reduction_placement(),),
+    description="dependence-driven rescheduling (reduction placement)",
+))
+register_stage(Stage(
+    name="codegen",
+    inputs=("poly",),
+    outputs=("kernel",),
+    run=_run_codegen,
+    params=lambda o: (
+        _directives_fingerprint(o),
+        o.temporaries_internal,
+        o.kernel_name,
+    ),
+    description="C99/HLS kernel code generation",
+))
+register_stage(Stage(
+    name="compat",
+    inputs=("poly",),
+    outputs=("compat",),
+    run=_run_compat,
+    description="liveness-driven memory compatibility graph",
+))
+register_stage(Stage(
+    name="port-classes",
+    inputs=("poly",),
+    outputs=("port_classes",),
+    run=_run_port_classes,
+    description="port class assignment (accelerator/system visibility)",
+))
+register_stage(Stage(
+    name="mnemosyne-config",
+    inputs=("function", "compat", "port_classes"),
+    outputs=("mnemosyne_config",),
+    run=_run_mnemosyne_config,
+    params=lambda o: (
+        o.temporaries_internal,
+        tuple(sorted(o.directives.array_partition.items())),
+    ),
+    description="Mnemosyne specification from the compatibility graph",
+))
+register_stage(Stage(
+    name="memory",
+    inputs=("function", "compat", "mnemosyne_config"),
+    outputs=("memory",),
+    run=_run_memory,
+    params=lambda o: (
+        o.sharing.value,
+        o.temporaries_internal,
+        tuple(sorted((k, tuple(v)) for k, v in o.partition_merges.items())),
+    ),
+    description="memory subsystem generation (PLM sharing)",
+))
+register_stage(Stage(
+    name="hls-synth",
+    inputs=("kernel",),
+    outputs=("hls",),
+    run=_run_hls_synth,
+    params=lambda o: (_directives_fingerprint(o), o.clock_mhz, o.fuse_init),
+    description="HLS synthesis model (latency + resources)",
+))
+
+FINAL_STAGE = stage_names()[-1]
+
+
+def source_fingerprint(source) -> str:
+    """Stable text identity of a flow input (DSL text or built AST)."""
+    if isinstance(source, str):
+        return source
+    if isinstance(source, Program):
+        from repro.cfdlang.printer import print_program
+
+        return print_program(source)
+    raise SystemGenerationError(
+        f"flow input must be CFDlang text or a Program, got {type(source).__name__}"
+    )

@@ -1,0 +1,269 @@
+"""Staged flow API: run_until/resume, cache reuse, tracing, compile_many."""
+
+import pytest
+
+from repro.apps.helmholtz import HELMHOLTZ_DSL, inverse_helmholtz_program
+from repro.errors import SystemGenerationError
+from repro.flow import (
+    Flow,
+    FlowOptions,
+    FlowTrace,
+    StageCache,
+    compile_flow,
+    compile_many,
+    registered_stages,
+    stage_names,
+)
+from repro.flow.stages import producer_of
+from repro.mnemosyne import SharingMode
+
+ALL_MODES = (SharingMode.NONE, SharingMode.MATCHING, SharingMode.CLIQUE)
+
+
+class TestRegistry:
+    def test_stage_order_and_names(self):
+        assert stage_names() == [
+            "parse", "analyze", "lower", "layouts", "schedule", "reschedule",
+            "codegen", "compat", "port-classes", "mnemosyne-config",
+            "memory", "hls-synth",
+        ]
+
+    def test_dataflow_is_closed(self):
+        """Every input is 'source' or produced by an earlier stage."""
+        produced = {"source"}
+        for stage in registered_stages():
+            for inp in stage.inputs:
+                assert inp in produced, (stage.name, inp)
+            produced.update(stage.outputs)
+
+    def test_producer_of(self):
+        assert producer_of("poly") == "reschedule"
+        assert producer_of("source") == "source"
+        with pytest.raises(SystemGenerationError):
+            producer_of("nonsense")
+
+
+class TestRunUntilResume:
+    def test_resume_matches_compile_flow(self):
+        base = compile_flow(HELMHOLTZ_DSL)
+        flow = Flow(HELMHOLTZ_DSL)
+        flow.run_until("schedule")
+        assert flow.completed_stages() == [
+            "parse", "analyze", "lower", "layouts", "schedule"
+        ]
+        assert "poly_ref" in flow and "kernel" not in flow
+        res = flow.resume()
+        assert res.hls.summary() == base.hls.summary()
+        assert res.memory.summary() == base.memory.summary()
+        assert res.kernel.source == base.kernel.source
+
+    def test_run_until_unknown_stage(self):
+        with pytest.raises(SystemGenerationError):
+            Flow(HELMHOLTZ_DSL).run_until("synthesize")
+
+    def test_state_access_before_stage_runs(self):
+        flow = Flow(HELMHOLTZ_DSL)
+        with pytest.raises(SystemGenerationError, match="reschedule"):
+            flow["poly"]
+        flow.run_until("reschedule")
+        assert flow["poly"] is flow.state["poly"]
+
+    def test_override_invalidates_downstream(self):
+        flow = Flow(HELMHOLTZ_DSL, FlowOptions(sharing=SharingMode.NONE))
+        res_none = flow.run()
+        # swap in the config the MATCHING run would see: nothing upstream
+        # changes, so only memory and hls-synth downstream state is rebuilt
+        flow.override(memory=compile_flow(
+            HELMHOLTZ_DSL, FlowOptions(sharing=SharingMode.MATCHING)
+        ).memory)
+        res2 = flow.resume()
+        assert res2.memory.brams == 18 and res_none.memory.brams == 31
+        assert res2.hls.summary() == res_none.hls.summary()
+
+    def test_override_source_recompiles_everything(self):
+        flow = Flow(inverse_helmholtz_program(5))
+        r1 = flow.run()
+        flow.override(source=inverse_helmholtz_program(11))
+        r2 = flow.resume()
+        assert r1.memory.brams != r2.memory.brams
+        assert r2.memory.brams == 18
+
+    def test_override_unknown_key(self):
+        with pytest.raises(SystemGenerationError):
+            Flow(HELMHOLTZ_DSL).override(bogus=1)
+
+    def test_override_does_not_pollute_shared_cache(self):
+        cache = StageCache()
+        flow = Flow(HELMHOLTZ_DSL, cache=cache)
+        flow.run()
+        n_entries = len(cache)
+        flow.override(poly=flow["poly"])
+        flow.resume()
+        assert len(cache) == n_entries
+
+    def test_multi_key_override_is_order_independent(self):
+        base = compile_flow(HELMHOLTZ_DSL)
+        for kwargs in (
+            {"poly": base.poly, "function": base.function},
+            {"function": base.function, "poly": base.poly},
+        ):
+            flow = Flow(HELMHOLTZ_DSL)
+            flow.run_until("schedule")
+            res = flow.override(**kwargs).resume()
+            assert res.poly is base.poly
+            assert res.function is base.function
+            assert res.memory.brams == 18
+
+    def test_override_before_producer_runs(self):
+        flow = Flow(HELMHOLTZ_DSL)
+        flow.run_until("layouts")
+        poly = compile_flow(HELMHOLTZ_DSL).poly
+        flow.override(poly=poly)
+        res = flow.resume()
+        assert res.poly is poly
+        assert res.memory.brams == 18
+
+
+class TestStageCache:
+    def test_sharing_sweep_runs_front_end_once(self):
+        """Acceptance: parse/lower/schedule/codegen execute exactly once."""
+        cache, trace = StageCache(), FlowTrace()
+        brams = [
+            Flow(HELMHOLTZ_DSL, FlowOptions(sharing=mode),
+                 cache=cache, trace=trace).run().memory.brams
+            for mode in ALL_MODES
+        ]
+        assert brams == [31, 18, 12]
+        counts = trace.executed_counts()
+        for name in ("parse", "lower", "schedule", "codegen"):
+            assert counts[name] == 1, name
+        assert counts["memory"] == 3
+        assert trace.cached_counts()["parse"] == 2
+
+    def test_clock_change_reuses_codegen(self):
+        cache, trace = StageCache(), FlowTrace()
+        r1 = Flow(HELMHOLTZ_DSL, FlowOptions(clock_mhz=200.0),
+                  cache=cache, trace=trace).run()
+        r2 = Flow(HELMHOLTZ_DSL, FlowOptions(clock_mhz=150.0),
+                  cache=cache, trace=trace).run()
+        counts = trace.executed_counts()
+        assert counts["codegen"] == 1 and counts["memory"] == 1
+        assert counts["hls-synth"] == 2
+        assert r2.kernel.source == r1.kernel.source
+        assert r2.hls.clock_mhz != r1.hls.clock_mhz
+
+    def test_early_option_change_misses(self):
+        cache, trace = StageCache(), FlowTrace()
+        Flow(HELMHOLTZ_DSL, FlowOptions(factorize=True),
+             cache=cache, trace=trace).run()
+        Flow(HELMHOLTZ_DSL, FlowOptions(factorize=False),
+             cache=cache, trace=trace).run()
+        counts = trace.executed_counts()
+        assert counts["lower"] == 2 and counts["schedule"] == 2
+        assert counts["parse"] == 1  # source unchanged
+
+    def test_equivalent_ast_and_text_share_cache(self):
+        cache = StageCache()
+        trace = FlowTrace()
+        Flow(inverse_helmholtz_program(11), cache=cache, trace=trace).run()
+        Flow(inverse_helmholtz_program(11), cache=cache, trace=trace).run()
+        assert trace.executed_counts()["lower"] == 1
+
+    def test_cache_stats(self):
+        cache = StageCache()
+        Flow(HELMHOLTZ_DSL, cache=cache).run()
+        assert len(cache) == len(stage_names())
+        misses = cache.misses
+        Flow(HELMHOLTZ_DSL, cache=cache).run()
+        assert cache.misses == misses and cache.hits == len(stage_names())
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0
+
+
+class TestFlowTrace:
+    def test_timings_present_for_every_stage(self):
+        trace = FlowTrace()
+        Flow(HELMHOLTZ_DSL, trace=trace).run()
+        seen = {e.stage for e in trace.events}
+        assert seen == set(stage_names())
+        assert all(e.seconds >= 0.0 for e in trace.events)
+        assert not any(e.cached for e in trace.events)
+        assert trace.total_seconds() > 0.0
+
+    def test_observers_fire(self):
+        seen = []
+        trace = FlowTrace(observers=[lambda e: seen.append(e.stage)])
+        Flow(HELMHOLTZ_DSL, trace=trace).run_until("lower")
+        assert seen == ["parse", "analyze", "lower"]
+
+    def test_summary_renders_all_stages(self):
+        trace = FlowTrace()
+        Flow(HELMHOLTZ_DSL, trace=trace).run()
+        text = trace.summary()
+        for name in stage_names():
+            assert name in text
+
+
+class TestCompileMany:
+    def test_results_in_job_order(self):
+        results = compile_many(
+            (HELMHOLTZ_DSL, FlowOptions(sharing=mode)) for mode in ALL_MODES
+        )
+        assert [r.memory.brams for r in results] == [31, 18, 12]
+        assert [r.options.sharing for r in results] == list(ALL_MODES)
+
+    def test_bare_sources_and_shared_cache(self):
+        trace = FlowTrace()
+        results = compile_many([HELMHOLTZ_DSL, HELMHOLTZ_DSL], trace=trace)
+        assert len(results) == 2
+        assert results[0].memory.brams == results[1].memory.brams == 18
+        assert trace.executed_counts()["parse"] == 1
+
+    def test_matches_compile_flow(self):
+        base = compile_flow(HELMHOLTZ_DSL)
+        (res,) = compile_many([HELMHOLTZ_DSL])
+        assert res.hls.summary() == base.hls.summary()
+        assert res.kernel.source == base.kernel.source
+
+
+class TestOptionValidation:
+    def test_layout_override_unknown_tensor(self):
+        with pytest.raises(SystemGenerationError, match="undeclared tensor 'zz'"):
+            compile_flow(HELMHOLTZ_DSL, FlowOptions(layout_overrides={"zz": "row_major"}))
+
+    def test_partition_merge_unknown_tensor(self):
+        with pytest.raises(SystemGenerationError, match="undeclared tensor 'ghost'"):
+            compile_flow(
+                HELMHOLTZ_DSL,
+                FlowOptions(partition_merges={"buf": ("u", "ghost")}),
+            )
+
+
+class TestCliStages:
+    def test_list_stages(self, capsys):
+        from repro.flow.cli import main as cli_main
+
+        assert cli_main(["--list-stages"]) == 0
+        out = capsys.readouterr().out
+        for name in stage_names():
+            assert name in out
+
+    def test_stop_after(self, capsys):
+        from repro.flow.cli import main as cli_main
+
+        assert cli_main(["--app", "helmholtz", "-n", "6",
+                         "--stop-after", "codegen"]) == 0
+        out = capsys.readouterr().out
+        assert "stopped after stage 'codegen'" in out and "kernel" in out
+
+    def test_stop_after_unknown(self, capsys):
+        from repro.flow.cli import main as cli_main
+
+        assert cli_main(["--app", "helmholtz", "--stop-after", "nope"]) == 2
+
+    def test_trace_flag(self, capsys):
+        from repro.flow.cli import main as cli_main
+
+        assert cli_main(["--app", "helmholtz", "-n", "6", "-o", "/tmp/cli_trace",
+                         "--trace"]) == 0
+        assert "Flow trace" in capsys.readouterr().out
