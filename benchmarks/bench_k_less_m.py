@@ -1,24 +1,48 @@
 """Sec. VI: k < m variants "did not show much improvements due to
 limitations in the current implementations of the data transfers", so all
 remaining tests use k = m.  This bench regenerates that comparison.
+
+The whole k x m grid goes through the staged flow in one ``compile_many``
+batch: every point carries its (k, m) in :class:`SystemOptions`, so the
+shared cache runs ``parse``..``hls-synth`` once and only the
+``build-system``/``simulate`` stages re-run per point.
 """
 
 from benchmarks.conftest import emit
+from repro.apps.helmholtz import HELMHOLTZ_DSL
+from repro.flow import FlowOptions, FlowTrace, StageCache, SystemOptions, compile_many
+from repro.flow.stages import FRONT_END_STAGES
 from repro.utils import ascii_table
 
 NE = 50_000
+GRID = [(1, 1), (1, 2), (1, 4), (2, 2), (2, 4), (2, 8), (4, 4), (4, 8), (4, 16), (8, 8), (8, 16)]
+
+#: shared across benchmark rounds, so re-runs show the cache at work
+CACHE = StageCache()
 
 
-def build_rows(flow):
-    rows = []
-    for k, m in [(1, 1), (1, 2), (1, 4), (2, 2), (2, 4), (2, 8), (4, 4), (4, 8), (4, 16), (8, 8), (8, 16)]:
-        s = flow.simulate(NE, k, m)
-        rows.append((k, m, m // k, s.total_seconds))
-    return rows
+def build_rows(trace=None):
+    results = compile_many(
+        [
+            (HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=k, m=m, n_elements=NE)))
+            for k, m in GRID
+        ],
+        cache=CACHE,
+        trace=trace,
+    )
+    return [(r.system.k, r.system.m, r.system.batch, r.sim.total_seconds) for r in results]
 
 
-def test_k_less_m_no_improvement(benchmark, flow_sharing, out_dir):
-    rows = benchmark(build_rows, flow_sharing)
+def test_k_less_m_no_improvement(benchmark, out_dir):
+    trace = FlowTrace()
+    rows = build_rows(trace)
+    # the tentpole property: one front-end compilation serves the whole grid
+    executed = trace.executed_counts()
+    for name in FRONT_END_STAGES:
+        assert executed.get(name, 0) <= 1, name
+    assert executed["build-system"] == len(GRID)
+
+    rows = benchmark(build_rows)
     base = {r[0]: r[3] for r in rows if r[0] == r[1]}
     table = [
         (k, m, batch, f"{t:.3f}s", f"{base[k] / t:+.2%}"[1:] if t else "-")

@@ -3,20 +3,25 @@
 of parameters and constraints such as on-chip memory usage" (abstract).
 
 Sweeps polynomial degree x sharing strategy with the staged batch API
-(:func:`repro.compile_many`): all points share one stage cache, so the
+(:func:`repro.compile_many`) on four worker threads: all points share one
+lock-protected stage cache with single-flight keying, so the
 parse/lower/schedule/codegen front end runs once per degree while the
 memory stage runs once per (degree, sharing) point — the flow trace at
-the end shows exactly what was reused.  Reports per-kernel BRAMs, the
-maximum parallelism on the ZCU106, and end-to-end wall clock for a
-50,000-element simulation — the kind of exploration that would take one
-synthesis run per point with a manual flow.
+the end shows exactly what was reused.  System assembly and simulation
+are registry stages too, so every result already carries its
+maximum-parallelism system and a 50,000-element simulation.
 
-    python examples/design_space_exploration.py
+Pass a directory as argv[1] to persist the stage cache there
+(:class:`repro.DiskStageCache`): a second run of this script then reuses
+every artifact across processes — the trace reports the disk hits.
+
+    python examples/design_space_exploration.py [cache-dir]
 """
 
+import sys
+
 from repro.apps.helmholtz import inverse_helmholtz_program
-from repro.errors import SystemGenerationError
-from repro.flow import FlowOptions, FlowTrace, compile_many
+from repro.flow import DiskStageCache, FlowOptions, FlowTrace, StageCache, compile_many
 from repro.mnemosyne import SharingMode
 from repro.utils import ascii_table
 
@@ -25,29 +30,27 @@ DEGREES = (7, 9, 11, 13)
 MODES = (SharingMode.NONE, SharingMode.MATCHING, SharingMode.CLIQUE)
 
 
-def explore(trace=None):
+def explore(trace=None, cache=None, jobs=4):
     points = [(n, mode) for n in DEGREES for mode in MODES]
     grid = [
         (inverse_helmholtz_program(n), FlowOptions(sharing=mode))
         for n, mode in points
     ]
-    results = compile_many(grid, trace=trace)
+    results = compile_many(grid, jobs=jobs, cache=cache, trace=trace)
     rows = []
     for (n, mode), res in zip(points, results):
-        try:
-            design = res.build_system()
-            sim = res.simulate(NE)
+        if res.system is not None:
             rows.append(
                 (
                     n,
                     mode.value,
                     res.memory.brams,
-                    design.k,
-                    f"{design.utilization()['bram'] * 100:.0f}%",
-                    sim.total_seconds,
+                    res.system.k,
+                    f"{res.system.utilization()['bram'] * 100:.0f}%",
+                    res.sim.total_seconds,
                 )
             )
-        except SystemGenerationError:
+        else:  # no feasible configuration on the board
             rows.append((n, mode.value, res.memory.brams, 0, "-", None))
     return rows
 
@@ -57,8 +60,9 @@ def _fmt_seconds(t):
 
 
 def main() -> None:
+    cache = DiskStageCache(sys.argv[1]) if len(sys.argv) > 1 else StageCache()
     trace = FlowTrace()
-    rows = explore(trace)
+    rows = explore(trace, cache)
     print(
         ascii_table(
             ["extent n", "sharing", "BRAM/kernel", "max k", "BRAM util", "50k elements"],
@@ -74,8 +78,8 @@ def main() -> None:
     print(trace.summary())
     counts = trace.executed_counts()
     print(
-        f"\ncache reuse: front end ran {counts['parse']}x for "
-        f"{len(rows)} design points ({counts['memory']} memory builds)"
+        f"\ncache reuse: front end ran {counts.get('parse', 0)}x for "
+        f"{len(rows)} design points ({counts.get('memory', 0)} memory builds)"
     )
 
 

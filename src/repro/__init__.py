@@ -26,11 +26,13 @@ API (:class:`repro.Flow`, :func:`repro.compile_many`) — see
 """
 
 from repro.flow import (
+    DiskStageCache,
     Flow,
     FlowOptions,
     FlowResult,
     FlowTrace,
     StageCache,
+    SystemOptions,
     compile_flow,
     compile_many,
     stage_names,
@@ -39,16 +41,18 @@ from repro.flow import (
 from repro.cfdlang import parse_program, analyze, ProgramBuilder
 from repro.teil import lower_program, canonicalize, interpret
 from repro.mnemosyne import SharingMode
-from repro.system import ZCU106, Board
+from repro.system import ALVEO_U280, ZCU106, Board, boards, get_board
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Flow",
     "FlowOptions",
+    "SystemOptions",
     "FlowResult",
     "FlowTrace",
     "StageCache",
+    "DiskStageCache",
     "compile_flow",
     "compile_many",
     "stage_names",
@@ -61,6 +65,9 @@ __all__ = [
     "interpret",
     "SharingMode",
     "ZCU106",
+    "ALVEO_U280",
     "Board",
+    "boards",
+    "get_board",
     "__version__",
 ]

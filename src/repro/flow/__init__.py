@@ -3,37 +3,50 @@
 The flow is a registry of named stages (:mod:`repro.flow.stages`):
 frontend -> tensor IR -> canonicalization -> reference schedule -> layout
 materialization -> rescheduling -> C99 code generation + Mnemosyne
-metadata -> memory subsystem generation -> HLS synthesis (model), plus
-system generation + simulation on the result.
+metadata -> memory subsystem generation -> HLS synthesis (model) ->
+k x m system assembly on a board -> end-to-end performance simulation.
+The last two stages are parameterized by :class:`SystemOptions`, so k/m/
+board/workload sweeps re-run only them.
 
 :func:`compile_flow` runs everything in one shot.  :class:`Flow` is the
 session API: ``run_until``/``override``/``resume`` for partial runs and
 intermediate inspection, with a content-keyed :class:`StageCache` so
 design-space sweeps reuse the shared front end, and a :class:`FlowTrace`
 recording per-stage timing and cache behavior.  :func:`compile_many`
-batches a whole DSE grid against one shared cache.
+batches a whole DSE grid against one shared cache, optionally on a
+thread pool (``jobs=N``) with single-flight deduplication;
+:class:`DiskStageCache` persists the cache across processes.
 """
 
-from repro.flow.options import FlowOptions
+from repro.flow.options import FlowOptions, SystemOptions
 from repro.flow.pipeline import FlowResult, compile_flow
 from repro.flow.session import (
     Flow,
     FlowTrace,
-    StageCache,
     StageEvent,
     compile_many,
 )
 from repro.flow.stages import Stage, get_stage, registered_stages, stage_names
+from repro.flow.store import (
+    CacheBackend,
+    DiskStageCache,
+    SingleFlight,
+    StageCache,
+)
 from repro.flow.artifacts import write_artifacts
 
 __all__ = [
     "FlowOptions",
+    "SystemOptions",
     "FlowResult",
     "compile_flow",
     "write_artifacts",
     "Flow",
     "FlowTrace",
+    "CacheBackend",
     "StageCache",
+    "DiskStageCache",
+    "SingleFlight",
     "StageEvent",
     "compile_many",
     "Stage",

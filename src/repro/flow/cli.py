@@ -2,19 +2,26 @@
 
     cfdlang-flow examples/helmholtz.cfd -o build/ --ne 50000
     cfdlang-flow --app helmholtz --no-sharing -k 8 -m 8
+    cfdlang-flow --app helmholtz --board alveo-u280 --simulate
+    cfdlang-flow --app helmholtz --sweep 1x1,2x2,4x4 --jobs 4 --trace
+    cfdlang-flow --app helmholtz --cache-dir .flowcache --trace
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.codegen.hlsdirectives import HlsDirectives
+from repro.errors import SystemGenerationError
 from repro.flow.artifacts import write_artifacts
-from repro.flow.options import FlowOptions
-from repro.flow.session import Flow, FlowTrace
+from repro.flow.options import FlowOptions, SystemOptions
+from repro.flow.session import Flow, FlowTrace, compile_many
 from repro.flow.stages import registered_stages, stage_names
+from repro.flow.store import DiskStageCache, StageCache
 from repro.mnemosyne.sharing import SharingMode
+from repro.system.board import boards, get_board
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,6 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-m", type=int, default=None, help="PLM set replicas")
     p.add_argument("--ne", type=int, default=50_000,
                    help="number of CFD elements to simulate")
+    p.add_argument("--board", default=None, metavar="NAME",
+                   help="target board (see --list-boards; default ZCU106)")
     p.add_argument("--no-sharing", action="store_true",
                    help="disable memory sharing")
     p.add_argument("--clique-sharing", action="store_true",
@@ -45,6 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="flatten")
     p.add_argument("--simulate", action="store_true",
                    help="print the performance simulation for the system")
+    p.add_argument("--sweep", metavar="K1xM1,K2xM2,...", default=None,
+                   help="compile a k x m design-space sweep through the "
+                        "staged flow (e.g. 1x1,2x2,4x4,8x8,16x16); the "
+                        "front end runs once for the whole grid")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parallel workers for --sweep (default 1)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist the stage cache to DIR, reusing artifacts "
+                        "across runs (content-addressed pickle store)")
     p.add_argument("--stop-after", metavar="STAGE", default=None,
                    help="run the flow only through the named stage and "
                         "report the artifacts produced (see --list-stages)")
@@ -52,6 +70,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-stage timing and cache behavior")
     p.add_argument("--list-stages", action="store_true",
                    help="list the registered compiler stages and exit")
+    p.add_argument("--list-boards", action="store_true",
+                   help="list the known target boards and exit")
     return p
 
 
@@ -66,15 +86,108 @@ def _print_stages() -> None:
                       title="Registered flow stages"))
 
 
+def _print_boards() -> None:
+    from repro.utils import ascii_table
+
+    rows = [
+        (b.name, b.part, b.lut, b.ff, b.dsp, b.bram36)
+        for b in boards().values()
+    ]
+    print(ascii_table(["board", "part", "LUT", "FF", "DSP", "BRAM36"], rows,
+                      title="Known target boards"))
+
+
+def _cache_stats_line(cache) -> str:
+    s = cache.stats()
+    line = (
+        f"cache: {s['hits']} hits ({s['memory_hits']} memory, "
+        f"{s['disk_hits']} disk), {s['misses']} misses"
+    )
+    if "disk_entries" in s:
+        line += (
+            f"; {s['disk_entries']} entries / {s['disk_bytes']} bytes on disk"
+        )
+    return line
+
+
+def _parse_sweep(spec: str):
+    grid = []
+    for point in spec.split(","):
+        try:
+            k_str, m_str = point.lower().split("x")
+            grid.append((int(k_str), int(m_str)))
+        except ValueError:
+            raise SystemGenerationError(
+                f"bad sweep point {point!r}: expected KxM, e.g. 2x4"
+            ) from None
+    return grid
+
+
+def _run_sweep(source, options: FlowOptions, args, cache, trace) -> int:
+    from repro.utils import ascii_table
+
+    grid = _parse_sweep(args.sweep)
+    jobs = [
+        (
+            source,
+            dataclasses.replace(
+                options,
+                system=dataclasses.replace(options.system, k=k, m=m),
+            ),
+        )
+        for k, m in grid
+    ]
+    results = compile_many(
+        jobs, jobs=args.jobs, cache=cache, trace=trace, return_exceptions=True
+    )
+    rows = []
+    for (k, m), res in zip(grid, results):
+        if isinstance(res, Exception):
+            rows.append((k, m, "-", "-", f"error: {res}"))
+        else:
+            util = res.system.utilization()
+            rows.append(
+                (
+                    k,
+                    m,
+                    res.system.resources.bram,
+                    f"{util['bram'] * 100:.0f}%",
+                    f"{res.sim.total_seconds:.3f}s",
+                )
+            )
+    print(
+        ascii_table(
+            ["k", "m", "BRAM", "BRAM util", f"{args.ne} elements"],
+            rows,
+            title=f"k x m sweep on the {options.resolved_board().name} "
+                  f"({args.jobs} worker{'s' if args.jobs != 1 else ''})",
+        )
+    )
+    if trace is not None:
+        print(trace.summary())
+    print(_cache_stats_line(cache))
+    return 1 if any(isinstance(r, Exception) for r in results) else 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_stages:
         _print_stages()
         return 0
+    if args.list_boards:
+        _print_boards()
+        return 0
     if args.stop_after is not None and args.stop_after not in stage_names():
         print(f"error: unknown stage {args.stop_after!r}; "
               f"stages are: {', '.join(stage_names())}", file=sys.stderr)
         return 2
+    board = None
+    if args.board is not None:
+        try:
+            board = get_board(args.board)
+        except SystemGenerationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.app:
         from repro.apps import (
             gradient_program,
@@ -105,9 +218,25 @@ def main(argv=None) -> int:
         directives=HlsDirectives(pipeline=args.pipeline),
         sharing=sharing,
         temporaries_internal=args.temporaries_internal,
+        system=SystemOptions(
+            k=args.k, m=args.m, board=board, n_elements=args.ne
+        ),
     )
-    trace = FlowTrace() if (args.trace or args.stop_after) else None
-    flow = Flow(source, options, trace=trace)
+    cache = (
+        DiskStageCache(args.cache_dir) if args.cache_dir else StageCache()
+    )
+    trace = (
+        FlowTrace()
+        if (args.trace or args.stop_after or args.sweep)
+        else None
+    )
+    if args.sweep:
+        try:
+            return _run_sweep(source, options, args, cache, trace)
+        except SystemGenerationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    flow = Flow(source, options, cache=cache, trace=trace)
     if args.stop_after:
         flow.run_until(args.stop_after)
         print(f"stopped after stage {args.stop_after!r}; "
@@ -116,18 +245,24 @@ def main(argv=None) -> int:
               + ", ".join(k for k in flow.state if k != "source"))
         if trace is not None:
             print(trace.summary())
+        if args.cache_dir:
+            print(_cache_stats_line(cache))
         return 0
     result = flow.run()
+    if result.system is None:
+        print("error: no feasible configuration: a single kernel + memory "
+              f"exceeds the {options.resolved_board().name}", file=sys.stderr)
+        return 1
     paths = write_artifacts(result, args.output, k=args.k, m=args.m, n_elements=args.ne)
     print(result.hls.summary())
     print(result.memory.summary())
-    design = result.build_system(args.k, args.m)
-    print(design.summary())
+    print(result.system.summary())
     if args.simulate:
-        sim = result.simulate(args.ne, args.k, args.m)
-        print(sim)
+        print(result.sim.summary())
     if trace is not None:
         print(trace.summary())
+    if args.cache_dir or args.trace:
+        print(_cache_stats_line(cache))
     print(f"artifacts written to: {args.output}")
     for name, path in sorted(paths.items()):
         print(f"  {name}: {path}")

@@ -12,6 +12,28 @@ from repro.system.platform_data import DEFAULT_PLATFORM, PlatformModel
 
 
 @dataclass(frozen=True)
+class SystemOptions:
+    """Late, system-level parameters of the last two flow stages.
+
+    These feed ``build-system`` (k accelerator replicas, m PLM sets, the
+    target board) and ``simulate`` (workload size, transfer strategy);
+    nothing upstream depends on them, so a k×m×board sweep re-runs only
+    those two stages per design point.
+
+    ``k``/``m`` default to None, meaning "maximize parallel kernels on
+    the board" (the paper's choice).  ``board`` set here overrides
+    :attr:`FlowOptions.board` — None defers to it.
+    """
+
+    k: Optional[int] = None
+    m: Optional[int] = None
+    board: Optional[Board] = None
+    n_elements: int = 50_000
+    #: model the future-work overlapped transfer strategy (Sec. VIII)
+    overlap_transfers: bool = False
+
+
+@dataclass(frozen=True)
 class FlowOptions:
     """Everything the user can turn on the flow.
 
@@ -39,8 +61,14 @@ class FlowOptions:
     #: 'innermost'); or force "innermost" | "outside" | "free"
     reduction_placement: Optional[str] = None
     fuse_init: bool = True
+    #: system-level (k, m, board, workload) knobs of the last two stages
+    system: SystemOptions = field(default_factory=SystemOptions)
 
     def effective_reduction_placement(self) -> str:
         if self.reduction_placement is not None:
             return self.reduction_placement
         return "outside" if self.directives.pipeline == "flatten" else "innermost"
+
+    def resolved_board(self) -> Board:
+        """The board the system stages target (SystemOptions wins)."""
+        return self.system.board if self.system.board is not None else self.board

@@ -22,15 +22,25 @@ from repro.mnemosyne.plm import MemorySubsystem
 from repro.flow.options import FlowOptions
 from repro.poly.schedule import PolyProgram
 from repro.sim.simulator import SimulationResult, simulate_system
-from repro.system.integration import SystemDesign, build_system
+from repro.system.integration import (
+    SystemDesign,
+    TransferFootprint,
+    build_system,
+    transfer_footprint,
+)
 from repro.system.replicate import max_parallel_config
 from repro.teil.program import Function
-from repro.teil.types import TensorKind
 
 
 @dataclass
 class FlowResult:
-    """All artifacts of one flow run."""
+    """All artifacts of one flow run.
+
+    ``system``/``sim`` are the products of the ``build-system`` and
+    ``simulate`` registry stages (parameterized by
+    :class:`~repro.flow.options.SystemOptions`); ``system`` is None when
+    auto-sizing found no feasible configuration on the target board.
+    """
 
     options: FlowOptions
     program: Program
@@ -42,66 +52,80 @@ class FlowResult:
     memory: MemorySubsystem
     hls: HlsReport
     port_classes: Dict[str, PortClass]
+    system: Optional[SystemDesign] = None
+    sim: Optional[SimulationResult] = None
 
     # -- transfer footprint ---------------------------------------------------
+    def transfer_footprint(self) -> TransferFootprint:
+        return transfer_footprint(self.function, self.port_classes)
+
     def streamed_arrays(self) -> List[str]:
         """Arrays transferred per element (the non-static interface)."""
-        return [
-            d.name
-            for d in self.function.interface()
-            if self.port_classes[d.name] is PortClass.ACCELERATOR_AND_SYSTEM
-        ]
+        return list(self.transfer_footprint().streamed)
 
     def static_arrays(self) -> List[str]:
-        return [
-            d.name
-            for d in self.function.interface()
-            if d.name not in self.streamed_arrays()
-        ]
+        return list(self.transfer_footprint().static)
 
     def bytes_in_per_element(self) -> int:
-        return sum(
-            self.function.decls[a].n_bytes
-            for a in self.streamed_arrays()
-            if self.function.decls[a].kind is TensorKind.INPUT
-        )
+        return self.transfer_footprint().bytes_in_per_element
 
     def bytes_out_per_element(self) -> int:
-        return sum(
-            self.function.decls[a].n_bytes
-            for a in self.streamed_arrays()
-            if self.function.decls[a].kind is TensorKind.OUTPUT
-        )
+        return self.transfer_footprint().bytes_out_per_element
 
     def static_bytes(self) -> int:
-        return sum(self.function.decls[a].n_bytes for a in self.static_arrays())
+        return self.transfer_footprint().static_bytes
 
     # -- system generation ------------------------------------------------------
     def build_system(self, k: Optional[int] = None, m: Optional[int] = None) -> SystemDesign:
-        """Build a system; with no arguments, maximize parallel kernels."""
+        """The flow's system, or one assembled for an explicit (k, m).
+
+        With no arguments this returns the ``build-system`` stage's
+        artifact: the configuration :class:`SystemOptions` asked for, or
+        the maximum-parallelism one when it left k/m unset.  An explicit
+        (k, m) differing from that artifact is assembled fresh.
+        """
         if (k is None) != (m is None):
             raise SystemGenerationError("specify both k and m, or neither")
+        if self.system is not None and (
+            k is None or (k, m) == (self.system.k, self.system.m)
+        ):
+            return self.system
+        board = self.options.resolved_board()
         if k is None:
             choice = max_parallel_config(
-                self.hls.resources, self.memory, self.options.board, self.options.platform
+                self.hls.resources, self.memory, board, self.options.platform
             )
             k, m = choice.k, choice.m
+        footprint = self.transfer_footprint()
         return build_system(
             self.hls,
             self.memory,
             k,
             m,  # type: ignore[arg-type]
-            board=self.options.board,
+            board=board,
             platform=self.options.platform,
-            bytes_in_per_element=self.bytes_in_per_element(),
-            bytes_out_per_element=self.bytes_out_per_element(),
-            static_bytes=self.static_bytes(),
+            bytes_in_per_element=footprint.bytes_in_per_element,
+            bytes_out_per_element=footprint.bytes_out_per_element,
+            static_bytes=footprint.static_bytes,
         )
 
     def simulate(
         self, n_elements: int, k: Optional[int] = None, m: Optional[int] = None
     ) -> SimulationResult:
-        return simulate_system(self.build_system(k, m), n_elements)
+        """Simulate under the flow's options (transfer strategy included);
+        matching requests reuse the ``simulate`` stage's artifact."""
+        if (
+            self.sim is not None
+            and k is None
+            and m is None
+            and self.sim.n_elements == n_elements
+        ):
+            return self.sim
+        return simulate_system(
+            self.build_system(k, m),
+            n_elements,
+            overlap_transfers=self.options.system.overlap_transfers,
+        )
 
 
 def compile_flow(

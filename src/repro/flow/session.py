@@ -3,22 +3,29 @@
 :class:`Flow` drives the stage registry of :mod:`repro.flow.stages` over
 one (source, options) pair.  It supports partial runs (``run_until``),
 inspection and override of intermediate artifacts, and ``resume``.  A
-:class:`StageCache` shared between sessions lets design-space sweeps that
-vary only late parameters (sharing mode, clock, k/m) reuse the whole
-front end; :class:`FlowTrace` records what actually ran and for how long.
+cache backend (:mod:`repro.flow.store`) shared between sessions lets
+design-space sweeps that vary only late parameters (sharing mode, clock,
+k/m/board) reuse the whole front end; :class:`FlowTrace` records what
+actually ran, for how long, and where cache hits came from.
 
     cache, trace = StageCache(), FlowTrace()
     for mode in SharingMode:
         res = Flow(src, FlowOptions(sharing=mode), cache=cache, trace=trace).run()
     trace.executed_counts()["parse"]   # -> 1: front end ran once for 3 points
 
-``compile_many`` wraps this pattern for whole DSE grids.
+``compile_many`` wraps this pattern for whole DSE grids: pass ``jobs=N``
+to run points on a thread pool (single-flight keying keeps concurrent
+points from duplicating stage work) and a
+:class:`~repro.flow.store.DiskStageCache` to reuse artifacts across
+processes.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -34,51 +41,26 @@ from repro.flow.stages import (
     source_fingerprint,
     stage_names,
 )
-
-
-class StageCache:
-    """Content-keyed store of stage outputs, shared between flow sessions.
-
-    Keys chain structurally: a stage's key hashes its producers' keys and
-    its own option fingerprint, so equality of keys implies equality of the
-    whole upstream computation.  Cached artifacts are returned by reference
-    — treat them as immutable.
-    """
-
-    def __init__(self) -> None:
-        self._entries: Dict[str, Dict[str, object]] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def get(self, key: str) -> Optional[Dict[str, object]]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry
-
-    def put(self, key: str, outputs: Dict[str, object]) -> None:
-        self._entries[key] = outputs
-
-    def clear(self) -> None:
-        self._entries.clear()
-        self.hits = self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._entries
+from repro.flow.store import (  # noqa: F401  (StageCache re-exported)
+    CacheBackend,
+    DiskStageCache,
+    SingleFlight,
+    StageCache,
+)
 
 
 @dataclass(frozen=True)
 class StageEvent:
-    """One stage execution (or cache hit) observed by a trace."""
+    """One stage execution (or cache hit) observed by a trace.
+
+    ``origin`` says where a hit came from: ``"memory"`` or ``"disk"``
+    (empty for stages that actually ran).
+    """
 
     stage: str
     seconds: float
     cached: bool
+    origin: str = ""
 
 
 class FlowTrace:
@@ -91,11 +73,18 @@ class FlowTrace:
     def __init__(self, observers: Sequence = ()) -> None:
         self.events: List[StageEvent] = []
         self.observers = list(observers)
+        self._lock = threading.Lock()
 
-    def record(self, stage: str, seconds: float, cached: bool) -> None:
-        event = StageEvent(stage, seconds, cached)
-        self.events.append(event)
-        for obs in self.observers:
+    def record(
+        self, stage: str, seconds: float, cached: bool, origin: str = ""
+    ) -> None:
+        event = StageEvent(stage, seconds, cached, origin)
+        with self._lock:
+            self.events.append(event)
+            observers = list(self.observers)
+        # outside the lock: a slow observer must not serialize the worker
+        # threads, and one that re-enters record() must not deadlock
+        for obs in observers:
             obs(event)
 
     # -- aggregation ---------------------------------------------------------
@@ -114,6 +103,20 @@ class FlowTrace:
                 out[e.stage] = out.get(e.stage, 0) + 1
         return out
 
+    def cached_counts_by_origin(self, origin: str) -> Dict[str, int]:
+        """Cache hits per stage that came from ``origin`` (memory/disk)."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            if e.cached and e.origin == origin:
+                out[e.stage] = out.get(e.stage, 0) + 1
+        return out
+
+    def hit_rate(self) -> float:
+        """Fraction of stage lookups served from the cache (0.0 if none)."""
+        if not self.events:
+            return 0.0
+        return sum(1 for e in self.events if e.cached) / len(self.events)
+
     def seconds_by_stage(self) -> Dict[str, float]:
         out: Dict[str, float] = {}
         for e in self.events:
@@ -128,26 +131,34 @@ class FlowTrace:
         from repro.utils import ascii_table
 
         executed = self.executed_counts()
-        cached = self.cached_counts()
+        mem = self.cached_counts_by_origin("memory")
+        disk = self.cached_counts_by_origin("disk")
         seconds = self.seconds_by_stage()
         rows = []
         for name in stage_names():
-            if name not in executed and name not in cached:
+            if name not in executed and name not in mem and name not in disk:
                 continue
             rows.append(
                 (
                     name,
                     executed.get(name, 0),
-                    cached.get(name, 0),
+                    mem.get(name, 0),
+                    disk.get(name, 0),
                     f"{seconds.get(name, 0.0) * 1e3:.2f}",
                 )
             )
-        rows.append(("total", sum(executed.values()), sum(cached.values()),
-                     f"{self.total_seconds() * 1e3:.2f}"))
-        return ascii_table(
-            ["stage", "runs", "cache hits", "time (ms)"],
+        rows.append(("total", sum(executed.values()), sum(mem.values()),
+                     sum(disk.values()), f"{self.total_seconds() * 1e3:.2f}"))
+        table = ascii_table(
+            ["stage", "runs", "mem hits", "disk hits", "time (ms)"],
             rows,
             title="Flow trace",
+        )
+        n_hits = sum(mem.values()) + sum(disk.values())
+        return table + (
+            f"\ncache hit rate: {self.hit_rate() * 100:.1f}% "
+            f"({n_hits}/{len(self.events)} stage lookups; "
+            f"{sum(mem.values())} memory, {sum(disk.values())} disk)"
         )
 
 
@@ -177,13 +188,17 @@ class Flow:
         source,
         options: Optional[FlowOptions] = None,
         *,
-        cache: Optional[StageCache] = None,
+        cache: Optional[CacheBackend] = None,
         trace: Optional[FlowTrace] = None,
+        flight: Optional[SingleFlight] = None,
     ) -> None:
         self.source = source
         self.options = options or FlowOptions()
         self.cache = cache if cache is not None else StageCache()
         self.trace = trace
+        #: single-flight coordinator shared with concurrent sessions (set
+        #: by a parallel ``compile_many``); None = no coordination needed
+        self.flight = flight
         self.state: Dict[str, object] = {"source": source}
         self._keys: Dict[str, str] = {
             "source": _digest("source", str(STAGE_API_VERSION),
@@ -267,6 +282,51 @@ class Flow:
         parts.append(repr(stage.params(self.options)))
         return _digest(*parts)
 
+    def _lookup(self, key: str, count: bool = True):
+        """Cache lookup returning (outputs, origin) or None on a miss.
+
+        ``count=False`` uses the backend's stat-free ``peek`` so that
+        race-closing re-checks don't inflate the hit/miss counters.
+        """
+        accessor = getattr(self.cache, "fetch" if count else "peek", None)
+        if accessor is not None:
+            return accessor(key)
+        outputs = self.cache.get(key)
+        return None if outputs is None else (outputs, "memory")
+
+    def _compute_or_fetch(self, stage: Stage, key: str):
+        """Run the stage or serve it from the shared cache.
+
+        With a :class:`SingleFlight` coordinator, concurrent sessions
+        hitting the same key elect one leader to run the stage; followers
+        wait and then re-read the cache.  If the leader raised, a woken
+        follower finds the cache still cold and takes over as leader, so
+        errors propagate on every session that needed the stage.
+        """
+        while True:
+            # the initial lookup and every post-wait re-read are real
+            # (counted) cache accesses; only the leader's race-closing
+            # re-check below stays out of the stats
+            hit = self._lookup(key)
+            if hit is not None:
+                return hit
+            if self.flight is None or self.flight.begin(key):
+                try:
+                    if self.flight is not None:
+                        # we may have become leader just after the previous
+                        # one published its result; holding leadership, one
+                        # re-check closes that race for good
+                        hit = self._lookup(key, count=False)
+                        if hit is not None:
+                            return hit
+                    outputs = stage.run(self.state, self.options)
+                    self.cache.put(key, outputs)
+                    return outputs, ""
+                finally:
+                    if self.flight is not None:
+                        self.flight.finish(key)
+            self.flight.wait(key)
+
     def _execute(self, stage: Stage) -> None:
         missing = [i for i in stage.inputs if i not in self.state]
         if missing:
@@ -277,17 +337,14 @@ class Flow:
         key = self._stage_key(stage)
         tainted = any(inp in self._tainted for inp in stage.inputs)
         t0 = time.perf_counter()
-        cached = False
+        origin = ""
         if tainted:
             # downstream of an override: one-off values, keep them (and
             # their derivatives) out of the shared cache
             outputs = stage.run(self.state, self.options)
         else:
-            outputs = self.cache.get(key)
-            cached = outputs is not None
-            if outputs is None:
-                outputs = stage.run(self.state, self.options)
-                self.cache.put(key, outputs)
+            outputs, origin = self._compute_or_fetch(stage, key)
+        cached = origin != ""
         seconds = time.perf_counter() - t0
         self.state.update(outputs)
         for out in stage.outputs:
@@ -296,7 +353,7 @@ class Flow:
                 self._tainted.add(out)
         self._completed.append(stage.name)
         if self.trace is not None:
-            self.trace.record(stage.name, seconds, cached)
+            self.trace.record(stage.name, seconds, cached, origin)
 
     def run_until(self, stage_name: str) -> "Flow":
         """Execute stages in pipeline order through ``stage_name``."""
@@ -328,33 +385,93 @@ class Flow:
             memory=self.state["memory"],
             hls=self.state["hls"],
             port_classes=self.state["port_classes"],
+            system=self.state["system"],
+            sim=self.state["sim"],
         )
 
 
 FlowJob = Union[object, Tuple[object, Optional[FlowOptions]]]
 
 
+def _parse_job(job: FlowJob, index: int) -> Tuple[object, Optional[FlowOptions]]:
+    """Split a job into (source, options), rejecting malformed tuples.
+
+    A tuple is only ever a (source, options) pair — sources themselves
+    are DSL text or Program ASTs — so anything else in tuple position is
+    a caller bug worth a loud, early error rather than a parse failure
+    deep inside the flow.
+    """
+    if isinstance(job, tuple):
+        if len(job) != 2:
+            raise TypeError(
+                f"compile_many job {index} must be a CFDlang source or a "
+                f"(source, FlowOptions) pair; got a {len(job)}-tuple"
+            )
+        if not (job[1] is None or isinstance(job[1], FlowOptions)):
+            raise TypeError(
+                f"compile_many job {index} must be a CFDlang source or a "
+                f"(source, FlowOptions) pair; got a 2-tuple whose second "
+                f"element is {type(job[1]).__name__}"
+            )
+        return job[0], job[1]
+    return job, None
+
+
 def compile_many(
-    jobs: Iterable[FlowJob],
+    points: Iterable[FlowJob],
     *,
-    cache: Optional[StageCache] = None,
+    jobs: int = 1,
+    cache: Optional[CacheBackend] = None,
     trace: Optional[FlowTrace] = None,
+    return_exceptions: bool = False,
 ) -> List["FlowResult"]:
     """Compile a batch of design points against one shared stage cache.
 
-    Each job is a CFDlang source (text or AST) or a ``(source, options)``
-    pair.  Results come back in job order.  All jobs share ``cache`` (a
-    fresh one by default), so grids that vary only late parameters run the
-    front end once per distinct program.
+    Each point is a CFDlang source (text or AST) or a ``(source,
+    options)`` pair.  Results come back in point order.  All points share
+    ``cache`` (a fresh in-memory one by default; pass a
+    :class:`DiskStageCache` to reuse work across processes), so grids
+    that vary only late parameters run the front end once per distinct
+    program.
+
+    ``jobs > 1`` runs points on a thread pool.  The shared cache is
+    lock-protected and stage execution is single-flight keyed, so
+    concurrent points that need the same artifact compute it exactly
+    once — results are identical to the sequential run.
+
+    Errors are captured per point: with ``return_exceptions=True`` the
+    failing point's slot holds the exception (other points still
+    complete); otherwise the first failure (in point order) is raised.
     """
+    parsed = [_parse_job(job, i) for i, job in enumerate(points)]
     cache = cache if cache is not None else StageCache()
-    results: List["FlowResult"] = []
-    for job in jobs:
-        if isinstance(job, tuple) and len(job) == 2 and (
-            job[1] is None or isinstance(job[1], FlowOptions)
-        ):
-            source, options = job
-        else:
-            source, options = job, None
-        results.append(Flow(source, options, cache=cache, trace=trace).run())
-    return results
+    outcomes: List[object] = [None] * len(parsed)
+
+    if jobs <= 1 and not return_exceptions:
+        # fast path, and the one that propagates errors eagerly
+        for i, (source, options) in enumerate(parsed):
+            outcomes[i] = Flow(source, options, cache=cache, trace=trace).run()
+        return outcomes  # type: ignore[return-value]
+
+    flight = SingleFlight() if jobs > 1 else None
+
+    def run_one(i: int) -> None:
+        source, options = parsed[i]
+        try:
+            outcomes[i] = Flow(
+                source, options, cache=cache, trace=trace, flight=flight
+            ).run()
+        except Exception as exc:  # noqa: BLE001 — captured per job
+            outcomes[i] = exc
+
+    if jobs <= 1:
+        for i in range(len(parsed)):
+            run_one(i)
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            list(pool.map(run_one, range(len(parsed))))
+    if not return_exceptions:
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+    return outcomes  # type: ignore[return-value]

@@ -277,6 +277,58 @@ def _run_hls_synth(state, options):
     return {"hls": hls}
 
 
+def _run_build_system(state, options):
+    from repro.system.integration import build_system, transfer_footprint
+    from repro.system.replicate import max_parallel_config
+
+    sys_opts = options.system
+    k, m = sys_opts.k, sys_opts.m
+    if (k is None) != (m is None):
+        raise SystemGenerationError("specify both k and m, or neither")
+    board = options.resolved_board()
+    hls, memory = state["hls"], state["memory"]
+    if k is None:
+        try:
+            choice = max_parallel_config(
+                hls.resources, memory, board, options.platform
+            )
+        except SystemGenerationError:
+            # auto-sizing on a design whose single kernel already exceeds
+            # the board: not an error for the flow as a whole — the system
+            # artifact is simply absent (explicit k/m still raise)
+            return {"system": None}
+        k, m = choice.k, choice.m
+    footprint = transfer_footprint(state["function"], state["port_classes"])
+    return {
+        "system": build_system(
+            hls,
+            memory,
+            k,
+            m,
+            board=board,
+            platform=options.platform,
+            bytes_in_per_element=footprint.bytes_in_per_element,
+            bytes_out_per_element=footprint.bytes_out_per_element,
+            static_bytes=footprint.static_bytes,
+        )
+    }
+
+
+def _run_simulate(state, options):
+    system = state["system"]
+    if system is None:
+        return {"sim": None}
+    from repro.sim.simulator import simulate_system
+
+    return {
+        "sim": simulate_system(
+            system,
+            options.system.n_elements,
+            overlap_transfers=options.system.overlap_transfers,
+        )
+    }
+
+
 # ---------------------------------------------------------------------------
 # the registry, in pipeline order
 # ---------------------------------------------------------------------------
@@ -383,8 +435,34 @@ register_stage(Stage(
     params=lambda o: (_directives_fingerprint(o), o.clock_mhz, o.fuse_init),
     description="HLS synthesis model (latency + resources)",
 ))
+register_stage(Stage(
+    name="build-system",
+    inputs=("function", "port_classes", "memory", "hls"),
+    outputs=("system",),
+    run=_run_build_system,
+    params=lambda o: (
+        o.system.k,
+        o.system.m,
+        repr(o.resolved_board()),
+        repr(o.platform),
+    ),
+    description="k x m system assembly on the target board (Fig. 7)",
+))
+register_stage(Stage(
+    name="simulate",
+    inputs=("system",),
+    outputs=("sim",),
+    run=_run_simulate,
+    params=lambda o: (o.system.n_elements, o.system.overlap_transfers),
+    description="end-to-end performance simulation (Ne elements)",
+))
 
 FINAL_STAGE = stage_names()[-1]
+
+#: the stages whose outputs feed system assembly — everything before
+#: ``build-system``.  A k x m x board sweep re-runs only what follows.
+FRONT_END_STAGES = tuple(stage_names()[: stage_names().index("build-system")])
+SYSTEM_STAGES = ("build-system", "simulate")
 
 
 def source_fingerprint(source) -> str:

@@ -1,0 +1,378 @@
+"""Pluggable artifact stores for the staged flow.
+
+The :class:`~repro.flow.session.Flow` session treats its cache as an
+opaque :class:`CacheBackend`: a content-keyed map from stage keys (sha256
+hex digests chaining the whole upstream computation) to the stage's
+output dict.  Two implementations ship here:
+
+* :class:`StageCache` — the in-memory store, shared between sessions of
+  one process.  This is what ``compile_many`` uses by default.
+* :class:`DiskStageCache` — a content-addressed pickle store under a
+  cache directory, so design-space sweeps reuse front-end work *across
+  processes*.  Writes are atomic (tempfile + ``os.replace``), corrupted
+  or unreadable entries are treated as misses, and ``gc(max_bytes)``
+  evicts least-recently-used entries.
+
+Both are safe to share between the worker threads of a parallel
+``compile_many``; :class:`SingleFlight` provides the per-key
+"first caller computes, everyone else waits" coordination that keeps
+concurrent design points from duplicating stage work.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import tempfile
+import threading
+from typing import Dict, Optional, Tuple
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+#: outputs of one stage, as stored/returned by a backend
+Entry = Dict[str, object]
+
+#: a cache hit: the entry plus where it came from ("memory" or "disk")
+Hit = Tuple[Entry, str]
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What a flow session requires of its artifact store.
+
+    ``fetch`` returns ``(entry, origin)`` on a hit — ``origin`` is
+    ``"memory"`` or ``"disk"`` and feeds the trace's hit breakdown —
+    or ``None`` on a miss.  Implementations must be thread-safe: a
+    parallel ``compile_many`` calls them from worker threads.
+    """
+
+    hits: int
+    misses: int
+
+    def fetch(self, key: str) -> Optional[Hit]: ...
+
+    def peek(self, key: str) -> Optional[Hit]: ...
+
+    def put(self, key: str, outputs: Entry) -> None: ...
+
+    def clear(self) -> None: ...
+
+    def stats(self) -> Dict[str, int]: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, key: str) -> bool: ...
+
+
+class StageCache:
+    """In-memory content-keyed store of stage outputs.
+
+    Keys chain structurally: a stage's key hashes its producers' keys and
+    its own option fingerprint, so equality of keys implies equality of
+    the whole upstream computation.  Cached artifacts are returned by
+    reference — treat them as immutable.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Entry] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def fetch(self, key: str) -> Optional[Hit]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry, "memory"
+
+    def peek(self, key: str) -> Optional[Hit]:
+        """Like :meth:`fetch` but without touching the hit/miss stats —
+        for race-closing re-checks that are not real lookups."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return None if entry is None else (entry, "memory")
+
+    def get(self, key: str) -> Optional[Entry]:
+        hit = self.fetch(key)
+        return None if hit is None else hit[0]
+
+    def put(self, key: str, outputs: Entry) -> None:
+        with self._lock:
+            self._entries[key] = outputs
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "memory_hits": self.hits,
+                "disk_hits": 0,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+class DiskStageCache:
+    """Content-addressed pickle store: stage outputs persisted to disk.
+
+    An in-memory layer fronts the directory, so within one process a
+    re-fetch is a ``"memory"`` hit and only the first fetch of an entry
+    written by *another* process reads a pickle (a ``"disk"`` hit).
+
+    Entries live at ``<cache_dir>/<key[:2]>/<key>.pkl``; the two-level
+    fan-out keeps directories small on big sweeps.  Writes go through a
+    tempfile in the same directory plus ``os.replace``, so concurrent
+    writers (threads or processes) can never expose a torn entry.
+    Anything that fails to unpickle — truncated file, corrupted bytes,
+    an artifact class that moved — is treated as a miss and the stale
+    file is dropped.  Artifacts that cannot be pickled are kept only in
+    the memory layer and counted in ``put_errors``.
+
+    ``max_bytes`` (or an explicit :meth:`gc` call) bounds the on-disk
+    footprint by evicting least-recently-used entries; reads touch the
+    file mtime so hot entries survive.
+    """
+
+    _SUFFIX = ".pkl"
+
+    def __init__(
+        self, cache_dir, *, max_bytes: Optional[int] = None
+    ) -> None:
+        self.cache_dir = pathlib.Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self._mem: Dict[str, Entry] = {}
+        self._lock = threading.Lock()
+        #: running upper bound on the disk footprint: bumped per write,
+        #: resynced by gc — so puts don't re-scan the directory each time
+        self._disk_bytes_estimate = self.disk_bytes() if max_bytes else 0
+        self.hits = 0
+        self.misses = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.put_errors = 0
+
+    # -- paths ---------------------------------------------------------------
+    def _path(self, key: str) -> pathlib.Path:
+        return self.cache_dir / key[:2] / (key + self._SUFFIX)
+
+    def _entry_files(self):
+        return self.cache_dir.glob("??/*" + self._SUFFIX)
+
+    # -- backend protocol ----------------------------------------------------
+    def _load(self, key: str, count: bool) -> Optional[Hit]:
+        with self._lock:
+            entry = self._mem.get(key)
+            if entry is not None:
+                if count:
+                    self.hits += 1
+                    self.memory_hits += 1
+                return entry, "memory"
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                entry = pickle.load(f)
+            if not isinstance(entry, dict):
+                raise pickle.UnpicklingError("cache entry is not a dict")
+        except FileNotFoundError:
+            with self._lock:
+                if count:
+                    self.misses += 1
+            return None
+        except Exception:
+            # corrupted / stale / unreadable: a miss, and drop the file so
+            # the recomputed entry replaces it
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                if count:
+                    self.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        with self._lock:
+            self._mem[key] = entry
+            if count:
+                self.hits += 1
+                self.disk_hits += 1
+        return entry, "disk"
+
+    def fetch(self, key: str) -> Optional[Hit]:
+        return self._load(key, count=True)
+
+    def peek(self, key: str) -> Optional[Hit]:
+        """Like :meth:`fetch` but without touching the hit/miss stats —
+        for race-closing re-checks that are not real lookups."""
+        return self._load(key, count=False)
+
+    def get(self, key: str) -> Optional[Entry]:
+        hit = self.fetch(key)
+        return None if hit is None else hit[0]
+
+    def put(self, key: str, outputs: Entry) -> None:
+        with self._lock:
+            self._mem[key] = outputs
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        written = 0
+        try:
+            old_size = 0
+            try:
+                old_size = os.path.getsize(path)  # overwriting an entry
+            except OSError:
+                pass
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=self._SUFFIX + ".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(outputs, f, protocol=pickle.HIGHEST_PROTOCOL)
+                new_size = os.path.getsize(tmp)
+                os.replace(tmp, path)
+                written = new_size - old_size  # only after the file landed
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            with self._lock:
+                self.put_errors += 1
+        if self.max_bytes is not None:
+            with self._lock:
+                self._disk_bytes_estimate += written
+                over_budget = self._disk_bytes_estimate > self.max_bytes
+            if over_budget:
+                self.gc(self.max_bytes)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._mem.clear()
+            self.hits = self.misses = 0
+            self.memory_hits = self.disk_hits = 0
+            self.put_errors = 0
+            self._disk_bytes_estimate = 0
+        for path in list(self._entry_files()):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "entries": len(self._mem),
+                "disk_entries": sum(1 for _ in self._entry_files()),
+                "disk_bytes": self.disk_bytes(),
+                "put_errors": self.put_errors,
+            }
+
+    def disk_bytes(self) -> int:
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def gc(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until <= ``max_bytes`` on disk.
+
+        Returns the number of entries removed.  Only the disk layer is
+        trimmed; in-memory entries (this process's working set) survive.
+        """
+        files = []
+        for path in self._entry_files():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            files.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _, size, _ in files)
+        removed = 0
+        for _, size, path in sorted(files):  # oldest first
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        with self._lock:
+            self._disk_bytes_estimate = total  # resync after the real scan
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._mem:
+            return True
+        return self._path(key).exists()
+
+
+class SingleFlight:
+    """Per-key "leader computes, followers wait" coordination.
+
+    ``begin(key)`` returns True for exactly one concurrent caller (the
+    leader); others get False and should ``wait(key)`` then re-check the
+    cache.  The leader must call ``finish(key)`` (in a finally block),
+    which wakes every waiter whether the computation succeeded or raised
+    — a follower that still misses the cache after waking simply takes
+    over as the next leader.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, threading.Event] = {}
+
+    def begin(self, key: str) -> bool:
+        with self._lock:
+            if key in self._inflight:
+                return False
+            self._inflight[key] = threading.Event()
+            return True
+
+    def finish(self, key: str) -> None:
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def wait(self, key: str, timeout: Optional[float] = None) -> None:
+        with self._lock:
+            event = self._inflight.get(key)
+        if event is not None:
+            event.wait(timeout)

@@ -68,6 +68,31 @@ class SimulationResult:
             f"control {self.control_cycles} cycles)"
         )
 
+    def summary(self) -> str:
+        """Rendered cycle breakdown (compute/transfer/control shares)."""
+        from repro.utils import ascii_table
+
+        total = self.total_cycles or 1
+        rows = [
+            (name, cycles, f"{cycles / total * 100:.1f}%",
+             f"{cycles / self.clock_hz * 1e3:.2f}")
+            for name, cycles in (
+                ("compute", self.compute_cycles),
+                ("transfer", self.transfer_cycles),
+                ("control", self.control_cycles),
+            )
+        ]
+        rows.append(("total", self.total_cycles, "100.0%",
+                     f"{self.total_seconds * 1e3:.2f}"))
+        return ascii_table(
+            ["phase", "cycles", "share", "time (ms)"],
+            rows,
+            title=(
+                f"Simulation: k={self.k} m={self.m} Ne={self.n_elements} "
+                f"@ {self.clock_hz / 1e6:.0f} MHz"
+            ),
+        )
+
 
 def simulate_system(
     design: SystemDesign, n_elements: int, *, overlap_transfers: bool = False

@@ -6,20 +6,30 @@ multiple of k), generate the AXI-lite control peripheral, the memory
 integration logic (Fig. 7 variants), the system HDL and the host code.
 """
 
-from repro.system.board import Board, ZCU106
+from repro.system.board import ALVEO_U280, Board, ZCU106, boards, get_board
 from repro.system.platform_data import PlatformModel, DEFAULT_PLATFORM
 from repro.system.replicate import (
     ReplicationChoice,
     feasible_configurations,
     max_parallel_config,
 )
-from repro.system.integration import SystemDesign, build_system
+from repro.system.integration import (
+    SystemDesign,
+    TransferFootprint,
+    build_system,
+    transfer_footprint,
+)
 from repro.system.hdl import emit_system_hdl
 from repro.system.host import emit_host_code, HostModel
 
 __all__ = [
     "Board",
     "ZCU106",
+    "ALVEO_U280",
+    "boards",
+    "get_board",
+    "TransferFootprint",
+    "transfer_footprint",
     "PlatformModel",
     "DEFAULT_PLATFORM",
     "ReplicationChoice",

@@ -1,8 +1,9 @@
-"""FPGA board descriptions."""
+"""FPGA board descriptions and the name -> :class:`Board` registry."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -64,3 +65,39 @@ ALVEO_U280 = Board(
     cpu_mhz=0.0,
     fabric_mhz=300.0,
 )
+
+
+def _canonical(name: str) -> str:
+    return "".join(c for c in name.lower() if c.isalnum())
+
+
+_BOARDS: Dict[str, Board] = {
+    _canonical(b.name): b for b in (ZCU106, ALVEO_U280)
+}
+_ALIASES: Dict[str, Board] = {
+    _canonical(b.part): b for b in (ZCU106, ALVEO_U280)
+}
+_ALIASES["u280"] = ALVEO_U280
+
+
+def boards() -> Dict[str, Board]:
+    """All registered boards, keyed by display name."""
+    return {b.name: b for b in _BOARDS.values()}
+
+
+def get_board(name: str) -> Board:
+    """Resolve a board by (case/punctuation-insensitive) name or part.
+
+    Raises :class:`~repro.errors.SystemGenerationError` naming the known
+    boards, so CLI/flow errors are actionable.
+    """
+    key = _canonical(name)
+    board = _BOARDS.get(key) or _ALIASES.get(key)
+    if board is None:
+        from repro.errors import SystemGenerationError
+
+        known = ", ".join(sorted(boards()))
+        raise SystemGenerationError(
+            f"unknown board {name!r}; known boards are: {known}"
+        )
+    return board

@@ -10,7 +10,7 @@ for logic synthesis along with the corresponding host software."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SystemGenerationError
 from repro.hls.report import HlsReport
@@ -23,6 +23,56 @@ from repro.system.replicate import (
     validate_configuration,
 )
 from repro.utils import ascii_table
+
+
+@dataclass(frozen=True)
+class TransferFootprint:
+    """Per-element / one-time host<->PLM traffic of one kernel interface.
+
+    ``streamed`` arrays move once per CFD element; ``static`` operands
+    (e.g. the S matrix) are transferred once up front.
+    """
+
+    streamed: Tuple[str, ...]
+    static: Tuple[str, ...]
+    bytes_in_per_element: int
+    bytes_out_per_element: int
+    static_bytes: int
+
+
+def transfer_footprint(function, port_classes) -> TransferFootprint:
+    """Derive the transfer footprint from a TeIL function's interface.
+
+    ``port_classes`` maps array names to
+    :class:`~repro.mnemosyne.PortClass`; arrays visible to both the
+    accelerator and the system are the streamed interface.
+    """
+    from repro.mnemosyne import PortClass
+    from repro.teil.types import TensorKind
+
+    interface = list(function.interface())
+    streamed = tuple(
+        d.name
+        for d in interface
+        if port_classes[d.name] is PortClass.ACCELERATOR_AND_SYSTEM
+    )
+    static = tuple(d.name for d in interface if d.name not in streamed)
+    decls = function.decls
+    return TransferFootprint(
+        streamed=streamed,
+        static=static,
+        bytes_in_per_element=sum(
+            decls[a].n_bytes
+            for a in streamed
+            if decls[a].kind is TensorKind.INPUT
+        ),
+        bytes_out_per_element=sum(
+            decls[a].n_bytes
+            for a in streamed
+            if decls[a].kind is TensorKind.OUTPUT
+        ),
+        static_bytes=sum(decls[a].n_bytes for a in static),
+    )
 
 
 @dataclass

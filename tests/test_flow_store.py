@@ -1,0 +1,359 @@
+"""Artifact store backends: disk persistence, concurrency, single-flight."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.apps.helmholtz import HELMHOLTZ_DSL, inverse_helmholtz_program
+from repro.flow import (
+    DiskStageCache,
+    Flow,
+    FlowOptions,
+    FlowTrace,
+    SingleFlight,
+    StageCache,
+    SystemOptions,
+    compile_many,
+)
+from repro.flow.stages import FRONT_END_STAGES
+from repro.mnemosyne import SharingMode
+
+ALL_MODES = (SharingMode.NONE, SharingMode.MATCHING, SharingMode.CLIQUE)
+
+
+class TestCacheBackendProtocol:
+    def test_implementations_satisfy_protocol(self, tmp_path):
+        from repro.flow import CacheBackend
+
+        assert isinstance(StageCache(), CacheBackend)
+        assert isinstance(DiskStageCache(tmp_path), CacheBackend)
+
+    def test_stage_cache_fetch_origin(self):
+        cache = StageCache()
+        cache.put("k", {"x": 1})
+        assert cache.fetch("k") == ({"x": 1}, "memory")
+        assert cache.fetch("missing") is None
+        assert cache.stats()["disk_hits"] == 0
+
+
+class TestDiskStageCache:
+    def test_round_trip_across_fresh_sessions(self, tmp_path):
+        """Two independent cache instances over one directory behave like
+        two processes: the second session executes nothing."""
+        first = FlowTrace()
+        r1 = Flow(HELMHOLTZ_DSL, cache=DiskStageCache(tmp_path), trace=first).run()
+        assert first.executed_counts()  # everything ran
+
+        second = FlowTrace()
+        r2 = Flow(HELMHOLTZ_DSL, cache=DiskStageCache(tmp_path), trace=second).run()
+        assert second.executed_counts() == {}
+        disk = second.cached_counts_by_origin("disk")
+        for name in FRONT_END_STAGES:
+            assert disk[name] == 1, name
+        assert r2.kernel.source == r1.kernel.source
+        assert r2.memory.brams == r1.memory.brams
+        assert (r2.system.k, r2.system.m) == (r1.system.k, r1.system.m)
+        assert r2.sim.total_cycles == r1.sim.total_cycles
+
+    def test_km_sweep_fresh_process_runs_zero_front_end_stages(self, tmp_path):
+        """Acceptance: repeat a k x m sweep with a fresh DiskStageCache —
+        no front-end stage executes."""
+        grid = [(1, 1), (2, 2), (4, 8), (16, 16)]
+        jobs = [
+            (HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=k, m=m)))
+            for k, m in grid
+        ]
+        t1 = FlowTrace()
+        compile_many(jobs, cache=DiskStageCache(tmp_path), trace=t1)
+        assert t1.executed_counts()["build-system"] == len(grid)
+
+        t2 = FlowTrace()
+        results = compile_many(jobs, cache=DiskStageCache(tmp_path), trace=t2)
+        executed = t2.executed_counts()
+        for name in FRONT_END_STAGES:
+            assert executed.get(name, 0) == 0, name
+        assert [(r.system.k, r.system.m) for r in results] == grid
+
+    def test_memory_layer_fronts_disk(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        cache.put("deadbeef", {"x": 1})
+        assert cache.fetch("deadbeef")[1] == "memory"
+        fresh = DiskStageCache(tmp_path)
+        assert fresh.fetch("deadbeef") == ({"x": 1}, "disk")
+        # now cached in the new instance's memory layer too
+        assert fresh.fetch("deadbeef")[1] == "memory"
+        assert fresh.stats()["disk_hits"] == 1
+        assert fresh.stats()["memory_hits"] == 1
+
+    def test_corrupted_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        cache.put("cafe01", {"x": 1})
+        (path,) = tmp_path.glob("ca/*.pkl")
+        path.write_bytes(b"not a pickle at all")
+        fresh = DiskStageCache(tmp_path)
+        assert fresh.fetch("cafe01") is None
+        assert fresh.misses == 1
+        assert not path.exists()  # stale file dropped for rewrite
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        cache.put("cafe02", {"x": list(range(1000))})
+        (path,) = tmp_path.glob("ca/*.pkl")
+        path.write_bytes(path.read_bytes()[:20])
+        assert DiskStageCache(tmp_path).fetch("cafe02") is None
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        path = tmp_path / "ab" / "abcd.pkl"
+        path.parent.mkdir()
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        assert cache.fetch("abcd") is None
+
+    def test_corrupted_cache_flow_recovers(self, tmp_path):
+        Flow(HELMHOLTZ_DSL, cache=DiskStageCache(tmp_path)).run()
+        for path in tmp_path.glob("??/*.pkl"):
+            path.write_bytes(b"\x80garbage")
+        trace = FlowTrace()
+        res = Flow(HELMHOLTZ_DSL, cache=DiskStageCache(tmp_path), trace=trace).run()
+        assert res.memory.brams == 18
+        assert trace.cached_counts() == {}  # everything recomputed
+
+    def test_unpicklable_artifact_stays_in_memory(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        cache.put("feed01", {"fn": lambda: None})
+        assert cache.fetch("feed01")[1] == "memory"
+        assert cache.put_errors == 1
+        assert DiskStageCache(tmp_path).fetch("feed01") is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        for i in range(8):
+            cache.put(f"{i:02d}aa", {"i": i})
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_gc_evicts_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        cache = DiskStageCache(tmp_path)
+        for i in range(4):
+            key = f"{i:02d}bb"
+            cache.put(key, {"payload": "x" * 1000})
+            past = time.time() - (100 - i)  # strictly increasing mtimes
+            os.utime(cache._path(key), (past, past))
+        size = cache.disk_bytes()
+        removed = cache.gc(size // 2)
+        assert removed == 2
+        # the two oldest are gone from disk, the newest survive
+        fresh = DiskStageCache(tmp_path)
+        assert fresh.fetch("00bb") is None
+        assert fresh.fetch("03bb") is not None
+
+    def test_max_bytes_bounds_the_store(self, tmp_path):
+        cache = DiskStageCache(tmp_path, max_bytes=2_000)
+        for i in range(10):
+            cache.put(f"{i:02d}cc", {"payload": "y" * 500})
+        assert cache.disk_bytes() <= 2_000
+
+    def test_clear(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        cache.put("aa11", {"x": 1})
+        cache.clear()
+        assert cache.fetch("aa11") is None
+        assert cache.stats()["disk_entries"] == 0
+
+
+class TestParallelCompileMany:
+    def test_parallel_matches_sequential(self):
+        """Acceptance: compile_many(jobs=4) equals the sequential run."""
+        grid = [
+            (HELMHOLTZ_DSL, FlowOptions(sharing=mode, system=SystemOptions(k=k, m=k)))
+            for mode in ALL_MODES
+            for k in (1, 2, 4, 8)
+        ]
+        seq = compile_many(grid, cache=StageCache())
+        par = compile_many(grid, jobs=4, cache=StageCache())
+        assert [r.memory.brams for r in seq] == [r.memory.brams for r in par]
+        assert [r.kernel.source for r in seq] == [r.kernel.source for r in par]
+        assert [r.hls.summary() for r in seq] == [r.hls.summary() for r in par]
+        assert [(r.system.k, r.system.m) for r in seq] == [
+            (r.system.k, r.system.m) for r in par
+        ]
+        assert [r.sim.total_cycles for r in seq] == [r.sim.total_cycles for r in par]
+
+    def test_single_flight_runs_front_end_once(self):
+        trace = FlowTrace()
+        compile_many(
+            [(HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=k, m=k)))
+             for k in (1, 2, 4, 8, 16)],
+            jobs=8,
+            trace=trace,
+        )
+        counts = trace.executed_counts()
+        for name in FRONT_END_STAGES:
+            assert counts[name] == 1, name
+
+    def test_identical_jobs_compute_each_stage_once(self):
+        trace = FlowTrace()
+        results = compile_many([HELMHOLTZ_DSL] * 8, jobs=8, trace=trace)
+        assert all(r.memory.brams == 18 for r in results)
+        assert all(n == 1 for n in trace.executed_counts().values())
+
+    def test_parallel_per_job_error_capture(self):
+        from repro.errors import SystemGenerationError
+
+        jobs = [
+            (HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=k, m=k)))
+            for k in (1, 2)
+        ] + [
+            (HELMHOLTZ_DSL, FlowOptions(sharing=SharingMode.NONE,
+                                        system=SystemOptions(k=16, m=16))),
+        ]
+        results = compile_many(jobs, jobs=4, return_exceptions=True)
+        assert results[0].system.k == 1 and results[1].system.k == 2
+        assert isinstance(results[2], SystemGenerationError)
+        with pytest.raises(SystemGenerationError):
+            compile_many(jobs, jobs=4)
+
+    def test_parallel_against_disk_cache(self, tmp_path):
+        grid = [
+            (inverse_helmholtz_program(n), FlowOptions())
+            for n in (5, 7, 9)
+        ]
+        r1 = compile_many(grid, jobs=4, cache=DiskStageCache(tmp_path))
+        t2 = FlowTrace()
+        r2 = compile_many(grid, jobs=4, cache=DiskStageCache(tmp_path), trace=t2)
+        assert t2.executed_counts() == {}
+        assert [r.memory.brams for r in r1] == [r.memory.brams for r in r2]
+
+
+class TestSingleFlight:
+    def test_leader_recheck_does_not_inflate_stats(self):
+        """The post-begin race-closing re-check must not count as a second
+        miss per executed stage."""
+        from repro.flow import stage_names
+
+        cache = StageCache()
+        Flow(HELMHOLTZ_DSL, cache=cache, flight=SingleFlight()).run()
+        assert cache.misses == len(stage_names())
+        assert cache.hits == 0
+
+    def test_one_leader_per_key(self):
+        flight = SingleFlight()
+        assert flight.begin("k")
+        assert not flight.begin("k")
+        flight.finish("k")
+        assert flight.begin("k")
+        flight.finish("k")
+
+    def test_wait_wakes_on_finish(self):
+        flight = SingleFlight()
+        flight.begin("k")
+        woke = threading.Event()
+
+        def waiter():
+            flight.wait("k")
+            woke.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        flight.finish("k")
+        t.join(timeout=5)
+        assert woke.is_set()
+
+    def test_wait_on_unknown_key_returns(self):
+        SingleFlight().wait("never-started", timeout=0.1)
+
+
+class TestTraceOrigins:
+    def test_summary_reports_hit_rate_and_origins(self, tmp_path):
+        trace = FlowTrace()
+        Flow(HELMHOLTZ_DSL, cache=DiskStageCache(tmp_path), trace=trace).run()
+        Flow(HELMHOLTZ_DSL, cache=DiskStageCache(tmp_path), trace=trace).run()
+        text = trace.summary()
+        assert "mem hits" in text and "disk hits" in text
+        assert "cache hit rate: 50.0%" in text
+        disk = trace.cached_counts_by_origin("disk")
+        assert sum(disk.values()) == len(trace.events) // 2
+        assert trace.cached_counts_by_origin("memory") == {}
+        assert trace.hit_rate() == pytest.approx(0.5)
+
+    def test_memory_origin_within_one_process(self):
+        trace = FlowTrace()
+        cache = StageCache()
+        Flow(HELMHOLTZ_DSL, cache=cache, trace=trace).run()
+        Flow(HELMHOLTZ_DSL, cache=cache, trace=trace).run()
+        mem = trace.cached_counts_by_origin("memory")
+        assert sum(mem.values()) == len(trace.events) // 2
+        assert trace.cached_counts_by_origin("disk") == {}
+
+
+class TestCliIntegration:
+    def test_cache_dir_reports_disk_hits_on_second_run(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        args = ["--app", "helmholtz", "-n", "6", "-o", str(tmp_path / "out"),
+                "--cache-dir", str(tmp_path / "cache"), "--trace"]
+        assert cli_main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache: 0 hits" in first
+        assert cli_main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache: 14 hits (0 memory, 14 disk), 0 misses" in second
+
+    def test_unknown_board_lists_known_ones(self, capsys):
+        from repro.flow.cli import main as cli_main
+
+        assert cli_main(["--app", "helmholtz", "--board", "zcu999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown board" in err and "ZCU106" in err and "Alveo U280" in err
+
+    def test_board_flag_resolves_aliases(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        rc = cli_main(["--app", "helmholtz", "-n", "6", "--board", "ALVEO_U280",
+                       "-o", str(tmp_path)])
+        assert rc == 0
+        assert "Alveo U280" in capsys.readouterr().out
+
+    def test_list_boards(self, capsys):
+        from repro.flow.cli import main as cli_main
+
+        assert cli_main(["--list-boards"]) == 0
+        out = capsys.readouterr().out
+        assert "ZCU106" in out and "Alveo U280" in out
+
+    def test_sweep_flag(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        rc = cli_main(["--app", "helmholtz", "--sweep", "1x1,2x2,4x4",
+                       "--jobs", "2", "--trace"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "k x m sweep" in out and "cache hit rate" in out
+
+    def test_sweep_bad_spec(self, capsys):
+        from repro.flow.cli import main as cli_main
+
+        assert cli_main(["--app", "helmholtz", "--sweep", "1x1,banana"]) == 2
+        assert "bad sweep point" in capsys.readouterr().err
+
+
+class TestBoardRegistry:
+    def test_boards_and_lookup(self):
+        from repro.system import ALVEO_U280, ZCU106, boards, get_board
+
+        assert boards() == {"ZCU106": ZCU106, "Alveo U280": ALVEO_U280}
+        assert get_board("zcu106") is ZCU106
+        assert get_board("Alveo U280") is ALVEO_U280
+        assert get_board("alveo-u280") is ALVEO_U280
+        assert get_board("u280") is ALVEO_U280
+        assert get_board("xczu7ev-ffvc1156-2") is ZCU106
+
+    def test_unknown_board_error(self):
+        from repro.errors import SystemGenerationError
+        from repro.system import get_board
+
+        with pytest.raises(SystemGenerationError, match="known boards are"):
+            get_board("virtex-2")
