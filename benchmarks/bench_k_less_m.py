@@ -8,17 +8,23 @@ shared cache runs ``parse``..``hls-synth`` once and only the
 ``build-system``/``simulate`` stages re-run per point.
 """
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import BENCH_EXECUTOR, BENCH_JOBS, QUICK, emit
 from repro.apps.helmholtz import HELMHOLTZ_DSL
-from repro.flow import FlowOptions, FlowTrace, StageCache, SystemOptions, compile_many
+from repro.flow import FlowOptions, FlowTrace, SystemOptions, compile_many
 from repro.flow.stages import FRONT_END_STAGES
 from repro.utils import ascii_table
+from benchmarks.bench_support import make_bench_cache
 
 NE = 50_000
-GRID = [(1, 1), (1, 2), (1, 4), (2, 2), (2, 4), (2, 8), (4, 4), (4, 8), (4, 16), (8, 8), (8, 16)]
+GRID = (
+    [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4), (4, 8)]
+    if QUICK
+    else [(1, 1), (1, 2), (1, 4), (2, 2), (2, 4), (2, 8), (4, 4), (4, 8), (4, 16), (8, 8), (8, 16)]
+)
 
 #: shared across benchmark rounds, so re-runs show the cache at work
-CACHE = StageCache()
+#: (a DiskStageCache when the process executor needs a shared medium)
+CACHE = make_bench_cache(BENCH_EXECUTOR)
 
 
 def build_rows(trace=None):
@@ -29,6 +35,8 @@ def build_rows(trace=None):
         ],
         cache=CACHE,
         trace=trace,
+        jobs=BENCH_JOBS,
+        executor=BENCH_EXECUTOR,
     )
     return [(r.system.k, r.system.m, r.system.batch, r.sim.total_seconds) for r in results]
 

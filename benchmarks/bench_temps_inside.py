@@ -9,7 +9,6 @@ control over their implementation does allow for better optimization"
 from benchmarks.conftest import emit
 from repro.apps.helmholtz import HELMHOLTZ_DSL
 from repro.flow import FlowOptions, compile_flow
-from repro.mnemosyne import SharingMode
 from repro.utils import ascii_table
 
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Gate a pytest-benchmark run against a committed baseline.
+
+    python benchmarks/compare_bench.py BASELINE.json PR.json \
+        [--max-regression 0.25]
+
+Both files are pytest-benchmark JSON (``--benchmark-json=...``); the
+baseline may also be the reduced ``{"benchmarks": [{"name", "stats":
+{"mean"}}]}`` form this script writes with ``--reduce``.  Benchmarks are
+matched by name; a benchmark slower than ``baseline * (1 +
+max-regression)`` fails the gate (exit 1).  Benchmarks present on only
+one side are reported but never fail the gate, so adding a bench does
+not require touching the baseline in the same PR.
+
+``BENCH_MAX_REGRESSION`` overrides the threshold from the environment —
+useful when a CI runner class change shifts absolute timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_means(path: str) -> dict:
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="this run's --benchmark-json output")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=float(os.environ.get("BENCH_MAX_REGRESSION", "0.25")),
+        help="allowed fractional wall-clock slowdown (default 0.25)",
+    )
+    parser.add_argument(
+        "--reduce",
+        metavar="OUT",
+        default=None,
+        help="also write CURRENT reduced to name/mean pairs at OUT "
+        "(for refreshing the committed baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    base = load_means(args.baseline)
+    current = load_means(args.current)
+    if args.reduce:
+        reduced = {
+            "benchmarks": [
+                {"name": name, "stats": {"mean": mean}}
+                for name, mean in sorted(current.items())
+            ]
+        }
+        with open(args.reduce, "w") as f:
+            json.dump(reduced, f, indent=2)
+            f.write("\n")
+
+    failures = []
+    width = max((len(n) for n in set(base) | set(current)), default=4)
+    print(f"{'benchmark':<{width}}  {'base':>10}  {'current':>10}  delta")
+    for name in sorted(set(base) | set(current)):
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>10}  {current[name]:>9.4f}s  new (not gated)")
+            continue
+        if name not in current:
+            print(f"{name:<{width}}  {base[name]:>9.4f}s  {'-':>10}  missing from this run")
+            continue
+        ratio = current[name] / base[name] if base[name] else float("inf")
+        verdict = ""
+        if ratio > 1 + args.max_regression:
+            verdict = "  REGRESSION"
+            failures.append(name)
+        print(
+            f"{name:<{width}}  {base[name]:>9.4f}s  {current[name]:>9.4f}s  "
+            f"{(ratio - 1) * 100:+6.1f}%{verdict}"
+        )
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+            f"{args.max_regression * 100:.0f}%: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.max_regression * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ with pytest-benchmark.  Rendered outputs are also written to
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -19,6 +20,17 @@ from repro.flow import FlowOptions, compile_flow
 from repro.mnemosyne import SharingMode
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: BENCH_QUICK=1 shrinks the sweep grids for the CI benchmark gate, so a
+#: run fits in a PR-sized job while timing the same code paths; the
+#: committed baseline (BENCH_baseline.json) was produced in this mode.
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+#: BENCH_EXECUTOR/BENCH_JOBS point the sweep benches at a specific
+#: compile_many backend (serial/thread/process), e.g. to compare
+#: core-count scaling; the default matches the library default.
+BENCH_EXECUTOR = os.environ.get("BENCH_EXECUTOR", "thread")
+BENCH_JOBS = int(os.environ.get("BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")

@@ -11,17 +11,29 @@ the end shows exactly what was reused.  System assembly and simulation
 are registry stages too, so every result already carries its
 maximum-parallelism system and a 50,000-element simulation.
 
-Pass a directory as argv[1] to persist the stage cache there
+Pass a directory as the first argument to persist the stage cache there
 (:class:`repro.DiskStageCache`): a second run of this script then reuses
 every artifact across processes — the trace reports the disk hits.
+``--executor process`` runs the CPU-bound front ends on a process pool
+(one per degree, deduplicated across workers by lock-file single
+flight), which is where a cold multi-program sweep actually scales with
+cores.
 
-    python examples/design_space_exploration.py [cache-dir]
+    python examples/design_space_exploration.py [cache-dir] \\
+        [--executor serial|thread|process] [--jobs N]
 """
 
-import sys
+import argparse
 
 from repro.apps.helmholtz import inverse_helmholtz_program
-from repro.flow import DiskStageCache, FlowOptions, FlowTrace, StageCache, compile_many
+from repro.flow import (
+    DiskStageCache,
+    FlowOptions,
+    FlowTrace,
+    StageCache,
+    compile_many,
+    executor_names,
+)
 from repro.mnemosyne import SharingMode
 from repro.utils import ascii_table
 
@@ -30,13 +42,15 @@ DEGREES = (7, 9, 11, 13)
 MODES = (SharingMode.NONE, SharingMode.MATCHING, SharingMode.CLIQUE)
 
 
-def explore(trace=None, cache=None, jobs=4):
+def explore(trace=None, cache=None, jobs=4, executor="thread"):
     points = [(n, mode) for n in DEGREES for mode in MODES]
     grid = [
         (inverse_helmholtz_program(n), FlowOptions(sharing=mode))
         for n, mode in points
     ]
-    results = compile_many(grid, jobs=jobs, cache=cache, trace=trace)
+    results = compile_many(
+        grid, jobs=jobs, cache=cache, trace=trace, executor=executor
+    )
     rows = []
     for (n, mode), res in zip(points, results):
         if res.system is not None:
@@ -60,9 +74,22 @@ def _fmt_seconds(t):
 
 
 def main() -> None:
-    cache = DiskStageCache(sys.argv[1]) if len(sys.argv) > 1 else StageCache()
+    parser = argparse.ArgumentParser(description="helmholtz DSE sweep")
+    parser.add_argument("cache_dir", nargs="?", default=None,
+                        help="persist the stage cache here (reused across runs)")
+    parser.add_argument("--executor", choices=executor_names(),
+                        default="thread", help="compile_many backend")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel workers (default 4)")
+    args = parser.parse_args()
+    if args.cache_dir:
+        cache = DiskStageCache(args.cache_dir)
+    elif args.executor == "process":
+        cache = None  # the executor provisions a temporary disk cache
+    else:
+        cache = StageCache()
     trace = FlowTrace()
-    rows = explore(trace, cache)
+    rows = explore(trace, cache, jobs=args.jobs, executor=args.executor)
     print(
         ascii_table(
             ["extent n", "sharing", "BRAM/kernel", "max k", "BRAM util", "50k elements"],

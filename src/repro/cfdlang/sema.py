@@ -18,7 +18,6 @@ from typing import Dict, Tuple
 
 from repro.cfdlang.ast import (
     Add,
-    Assign,
     Contract,
     Div,
     Expr,

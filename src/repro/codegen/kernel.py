@@ -31,9 +31,8 @@ from repro.codegen.cemit import emit_function
 from repro.codegen.hlsdirectives import HlsDirectives
 from repro.errors import IRError
 from repro.poly.aff import AffTuple
-from repro.poly.codegen_ast import ComputeNode, LoopAst, build_loop_ast
+from repro.poly.codegen_ast import LoopAst, build_loop_ast
 from repro.poly.schedule import PolyProgram
-from repro.teil.types import TensorKind
 
 
 @dataclass(frozen=True)

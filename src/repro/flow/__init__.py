@@ -30,8 +30,17 @@ from repro.flow.stages import Stage, get_stage, registered_stages, stage_names
 from repro.flow.store import (
     CacheBackend,
     DiskStageCache,
+    FileSingleFlight,
     SingleFlight,
     StageCache,
+)
+from repro.flow.executors import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    executor_names,
+    get_executor,
 )
 from repro.flow.artifacts import write_artifacts
 
@@ -47,8 +56,15 @@ __all__ = [
     "StageCache",
     "DiskStageCache",
     "SingleFlight",
+    "FileSingleFlight",
     "StageEvent",
     "compile_many",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "executor_names",
+    "get_executor",
     "Stage",
     "get_stage",
     "registered_stages",

@@ -4,7 +4,11 @@
     cfdlang-flow --app helmholtz --no-sharing -k 8 -m 8
     cfdlang-flow --app helmholtz --board alveo-u280 --simulate
     cfdlang-flow --app helmholtz --sweep 1x1,2x2,4x4 --jobs 4 --trace
+    cfdlang-flow --app helmholtz --sweep 1x1,8x8 --executor process --jobs 4 \\
+        --cache-dir .flowcache
     cfdlang-flow --app helmholtz --cache-dir .flowcache --trace
+    cfdlang-flow cache stats --cache-dir .flowcache
+    cfdlang-flow cache gc --cache-dir .flowcache --max-bytes 256M --max-age 7d
 """
 
 from __future__ import annotations
@@ -12,13 +16,15 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import tempfile
 
 from repro.codegen.hlsdirectives import HlsDirectives
 from repro.errors import SystemGenerationError
 from repro.flow.artifacts import write_artifacts
+from repro.flow.executors import DEFAULT_EXECUTOR, executor_names
 from repro.flow.options import FlowOptions, SystemOptions
 from repro.flow.session import Flow, FlowTrace, compile_many
-from repro.flow.stages import registered_stages, stage_names
+from repro.flow.stages import FRONT_END_STAGES, registered_stages, stage_names
 from repro.flow.store import DiskStageCache, StageCache
 from repro.mnemosyne.sharing import SharingMode
 from repro.system.board import boards, get_board
@@ -60,9 +66,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "front end runs once for the whole grid")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="parallel workers for --sweep (default 1)")
+    p.add_argument("--executor", choices=executor_names(),
+                   default=DEFAULT_EXECUTOR,
+                   help="execution backend for --sweep: 'thread' shares one "
+                        "in-process cache (default); 'process' scales "
+                        "CPU-bound sweeps across cores through a disk cache; "
+                        "'serial' is the in-order reference")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persist the stage cache to DIR, reusing artifacts "
                         "across runs (content-addressed pickle store)")
+    p.add_argument("--expect-front-end-cached", action="store_true",
+                   help="exit non-zero unless every front-end stage was "
+                        "served from the cache (CI guard for cross-process "
+                        "cache reuse)")
     p.add_argument("--stop-after", metavar="STAGE", default=None,
                    help="run the flow only through the named stage and "
                         "report the artifacts produced (see --list-stages)")
@@ -110,6 +126,126 @@ def _cache_stats_line(cache) -> str:
     return line
 
 
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+_AGE_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_size(text: str) -> int:
+    """``'256M'`` -> bytes (suffixes K/M/G; bare numbers are bytes)."""
+    t = text.strip().lower().rstrip("b")
+    factor = 1
+    if t and t[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[t[-1]]
+        t = t[:-1]
+    try:
+        return int(float(t) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r}: expected e.g. 1048576, 512K, 256M, 2G"
+        ) from None
+
+
+def _parse_age(text: str) -> float:
+    """``'7d'`` -> seconds (suffixes s/m/h/d; bare numbers are seconds)."""
+    t = text.strip().lower()
+    factor = 1.0
+    if t and t[-1] in _AGE_SUFFIXES:
+        factor = _AGE_SUFFIXES[t[-1]]
+        t = t[:-1]
+    try:
+        return float(t) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad age {text!r}: expected e.g. 3600, 90s, 15m, 12h, 7d"
+        ) from None
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cfdlang-flow cache",
+        description="stage-cache lifecycle: inspect, bound, repair",
+    )
+    sub = p.add_subparsers(dest="action", required=True)
+
+    def add(name, help_text):
+        sp = sub.add_parser(name, help=help_text)
+        sp.add_argument("--cache-dir", required=True, metavar="DIR",
+                        help="the cache directory to operate on")
+        return sp
+
+    add("stats", "print entry/byte counts for the cache directory")
+    gc = add("gc", "evict entries by age and LRU size budget")
+    gc.add_argument("--max-bytes", type=_parse_size, default=None,
+                    metavar="SIZE", help="keep at most SIZE on disk "
+                    "(e.g. 256M; LRU eviction)")
+    gc.add_argument("--max-age", type=_parse_age, default=None,
+                    metavar="AGE", help="drop entries untouched for AGE "
+                    "(e.g. 7d)")
+    add("clear", "remove every cache entry")
+    verify = add("verify", "detect (and optionally remove) corrupt entries")
+    verify.add_argument("--fix", action="store_true",
+                        help="delete the corrupt entries found")
+    return p
+
+
+def _cache_main(argv) -> int:
+    import os
+
+    args = build_cache_parser().parse_args(argv)
+    if not os.path.isdir(args.cache_dir):
+        # constructing the cache would silently mkdir a mistyped path and
+        # report an empty-but-healthy store
+        print(f"error: no cache directory at {args.cache_dir!r}",
+              file=sys.stderr)
+        return 2
+    cache = DiskStageCache(args.cache_dir)
+    if args.action == "stats":
+        s = cache.stats()
+        print(f"cache directory: {cache.cache_dir}")
+        print(f"entries: {s['disk_entries']}")
+        print(f"bytes:   {s['disk_bytes']}")
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None and args.max_age is None:
+            print("error: cache gc needs --max-bytes and/or --max-age",
+                  file=sys.stderr)
+            return 2
+        removed = cache.gc(args.max_bytes, max_age_seconds=args.max_age)
+        s = cache.stats()
+        print(f"gc: removed {removed} entries; "
+              f"{s['disk_entries']} entries / {s['disk_bytes']} bytes remain")
+        return 0
+    if args.action == "clear":
+        before = cache.stats()["disk_entries"]
+        cache.clear()
+        print(f"clear: removed {before} entries from {cache.cache_dir}")
+        return 0
+    # verify
+    report = cache.verify(fix=args.fix)
+    corrupt = report["corrupt"]
+    print(f"verify: {report['checked']} entries checked, "
+          f"{len(corrupt)} corrupt, {report['removed']} removed")
+    for key in corrupt:
+        print(f"  corrupt: {key}")
+    return 1 if corrupt and not args.fix else 0
+
+
+def _check_front_end_cached(trace: FlowTrace) -> int:
+    """CI guard: fail loudly if any front-end stage actually ran.
+
+    Replaces grepping the stats line for a hardcoded hit count, which
+    silently broke whenever a stage was added or split.
+    """
+    executed = trace.executed_counts()
+    ran = [name for name in FRONT_END_STAGES if executed.get(name, 0)]
+    if ran:
+        print("error: --expect-front-end-cached: front-end stages ran "
+              "instead of hitting the cache: " + ", ".join(ran),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _parse_sweep(spec: str):
     grid = []
     for point in spec.split(","):
@@ -137,39 +273,66 @@ def _run_sweep(source, options: FlowOptions, args, cache, trace) -> int:
         )
         for k, m in grid
     ]
-    results = compile_many(
-        jobs, jobs=args.jobs, cache=cache, trace=trace, return_exceptions=True
-    )
-    rows = []
-    for (k, m), res in zip(grid, results):
-        if isinstance(res, Exception):
-            rows.append((k, m, "-", "-", f"error: {res}"))
-        else:
-            util = res.system.utilization()
-            rows.append(
-                (
-                    k,
-                    m,
-                    res.system.resources.bram,
-                    f"{util['bram'] * 100:.0f}%",
-                    f"{res.sim.total_seconds:.3f}s",
-                )
-            )
-    print(
-        ascii_table(
-            ["k", "m", "BRAM", "BRAM util", f"{args.ne} elements"],
-            rows,
-            title=f"k x m sweep on the {options.resolved_board().name} "
-                  f"({args.jobs} worker{'s' if args.jobs != 1 else ''})",
+    tmp_cache_dir = None
+    if (args.executor == "process" and args.expect_front_end_cached
+            and not isinstance(cache, DiskStageCache)):
+        print("error: --expect-front-end-cached with --executor process "
+              "needs --cache-dir: a temporary cache starts cold, so the "
+              "check could never pass", file=sys.stderr)
+        return 2
+    if args.executor == "process" and not isinstance(cache, DiskStageCache):
+        # workers share artifacts through disk; without --cache-dir, use a
+        # throwaway directory so the stats line still reflects the sweep
+        tmp_cache_dir = tempfile.TemporaryDirectory(prefix="cfdlang-flow-cache-")
+        cache = DiskStageCache(tmp_cache_dir.name)
+        print("process executor: using a temporary cache directory "
+              "(pass --cache-dir to persist artifacts across runs)")
+    try:
+        results = compile_many(
+            jobs, jobs=args.jobs, cache=cache, trace=trace,
+            return_exceptions=True, executor=args.executor,
         )
-    )
-    if trace is not None:
-        print(trace.summary())
-    print(_cache_stats_line(cache))
-    return 1 if any(isinstance(r, Exception) for r in results) else 0
+        rows = []
+        for (k, m), res in zip(grid, results):
+            if isinstance(res, Exception):
+                rows.append((k, m, "-", "-", f"error: {res}"))
+            else:
+                util = res.system.utilization()
+                rows.append(
+                    (
+                        k,
+                        m,
+                        res.system.resources.bram,
+                        f"{util['bram'] * 100:.0f}%",
+                        f"{res.sim.total_seconds:.3f}s",
+                    )
+                )
+        print(
+            ascii_table(
+                ["k", "m", "BRAM", "BRAM util", f"{args.ne} elements"],
+                rows,
+                title=f"k x m sweep on the {options.resolved_board().name} "
+                      f"({args.jobs} {args.executor} "
+                      f"worker{'s' if args.jobs != 1 else ''})",
+            )
+        )
+        if trace is not None:
+            print(trace.summary())
+        print(_cache_stats_line(cache))
+        if args.expect_front_end_cached and trace is not None:
+            rc = _check_front_end_cached(trace)
+            if rc:
+                return rc
+        return 1 if any(isinstance(r, Exception) for r in results) else 0
+    finally:
+        if tmp_cache_dir is not None:
+            tmp_cache_dir.cleanup()
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_stages:
         _print_stages()
@@ -227,7 +390,8 @@ def main(argv=None) -> int:
     )
     trace = (
         FlowTrace()
-        if (args.trace or args.stop_after or args.sweep)
+        if (args.trace or args.stop_after or args.sweep
+            or args.expect_front_end_cached)
         else None
     )
     if args.sweep:
@@ -266,6 +430,8 @@ def main(argv=None) -> int:
     print(f"artifacts written to: {args.output}")
     for name, path in sorted(paths.items()):
         print(f"  {name}: {path}")
+    if args.expect_front_end_cached:
+        return _check_front_end_cached(trace)
     return 0
 
 

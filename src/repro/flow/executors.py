@@ -1,0 +1,316 @@
+"""Execution backends for ``compile_many``: serial, thread, process.
+
+A batch of design points is embarrassingly parallel *between* points but
+shares work *across* them (the front end of a k x m sweep is identical
+for every point), so the right backend depends on where the time goes:
+
+* ``serial``  — one point after another on the calling thread.  The
+  reference semantics; every other backend must produce bit-identical
+  results.
+* ``thread``  — PR 2's :class:`~concurrent.futures.ThreadPoolExecutor`
+  over a shared in-process cache with :class:`SingleFlight` dedup.
+  Ideal when most points hit the cache (I/O- or wait-bound sweeps); the
+  GIL caps it at ~1 core of actual compilation.
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor` whose
+  workers communicate exclusively through a shared
+  :class:`~repro.flow.store.DiskStageCache`.  Job specs cross the
+  process boundary as (source text, option spec dicts) — never live
+  :class:`~repro.flow.session.Flow` objects — and
+  :class:`~repro.flow.store.FileSingleFlight` lock files in the cache
+  directory preserve the single-flight "compute each stage once"
+  guarantee between address spaces.  This is the backend that makes
+  core count, not stage count, the limit on CPU-bound sweep throughput.
+
+Backends implement the :class:`Executor` protocol and register under a
+name; ``compile_many(..., executor="process")`` or the CLI's
+``--executor`` selects one.  Worker traces and cache statistics merge
+back into the parent's :class:`~repro.flow.session.FlowTrace` and cache
+counters, so a sweep reads the same regardless of backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SystemGenerationError
+from repro.flow.options import FlowOptions
+from repro.flow.session import Flow, FlowTrace
+from repro.flow.stages import source_fingerprint
+from repro.flow.store import (
+    CacheBackend,
+    DiskStageCache,
+    FileSingleFlight,
+    SingleFlight,
+    StageCache,
+)
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+#: one parsed design point: (source, options-or-None)
+Job = Tuple[object, Optional[FlowOptions]]
+
+
+@dataclass
+class ExecutorContext:
+    """Everything a backend needs to run one batch.
+
+    ``outcomes`` slots are :class:`~repro.flow.pipeline.FlowResult` or
+    the exception the point raised; ``fail_fast`` lets the serial
+    backend stop at the first failure (the others always complete the
+    batch and let the caller decide).
+    """
+
+    jobs: Sequence[Job]
+    workers: int
+    cache: CacheBackend
+    trace: Optional[FlowTrace]
+    fail_fast: bool = False
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """What ``compile_many`` requires of an execution backend."""
+
+    name: str
+
+    def prepare_cache(self, cache: Optional[CacheBackend]) -> CacheBackend: ...
+
+    def run(self, context: ExecutorContext) -> List[object]: ...
+
+    def cleanup(self) -> None: ...
+
+
+class SerialExecutor:
+    """Reference backend: points run one after another, in order."""
+
+    name = "serial"
+
+    def prepare_cache(self, cache: Optional[CacheBackend]) -> CacheBackend:
+        return cache if cache is not None else StageCache()
+
+    def run(self, context: ExecutorContext) -> List[object]:
+        outcomes: List[object] = [None] * len(context.jobs)
+        for i, (source, options) in enumerate(context.jobs):
+            try:
+                outcomes[i] = Flow(
+                    source, options, cache=context.cache, trace=context.trace
+                ).run()
+            except Exception as exc:  # noqa: BLE001 — captured per job
+                outcomes[i] = exc
+                if context.fail_fast:
+                    break
+        return outcomes
+
+    def cleanup(self) -> None:
+        pass
+
+
+class ThreadExecutor:
+    """Thread-pool backend over a shared in-process cache.
+
+    ``SingleFlight`` keys stage execution so concurrent points never
+    duplicate work; with one worker it degrades to :class:`SerialExecutor`.
+    """
+
+    name = "thread"
+
+    def prepare_cache(self, cache: Optional[CacheBackend]) -> CacheBackend:
+        return cache if cache is not None else StageCache()
+
+    def run(self, context: ExecutorContext) -> List[object]:
+        if context.workers <= 1:
+            return SerialExecutor().run(context)
+        flight = SingleFlight()
+        outcomes: List[object] = [None] * len(context.jobs)
+
+        def run_one(i: int) -> None:
+            source, options = context.jobs[i]
+            try:
+                outcomes[i] = Flow(
+                    source,
+                    options,
+                    cache=context.cache,
+                    trace=context.trace,
+                    flight=flight,
+                ).run()
+            except Exception as exc:  # noqa: BLE001 — captured per job
+                outcomes[i] = exc
+
+        with ThreadPoolExecutor(max_workers=context.workers) as pool:
+            list(pool.map(run_one, range(len(context.jobs))))
+        return outcomes
+
+    def cleanup(self) -> None:
+        pass
+
+
+# -- process backend ----------------------------------------------------------
+#
+# Workers are initialized once per process with the cache directory and
+# keep one DiskStageCache + FileSingleFlight for their lifetime, so the
+# in-memory layer fronts the disk across the tasks each worker handles.
+_WORKER_STATE: Dict[str, object] = {}
+
+#: cache counters whose per-task deltas are merged back into the parent
+_COUNTER_KEYS = ("hits", "memory_hits", "disk_hits", "misses", "put_errors")
+
+
+def _process_worker_init(
+    cache_dir: str,
+    max_bytes: Optional[int],
+    max_age_seconds: Optional[float],
+) -> None:
+    cache = DiskStageCache(
+        cache_dir, max_bytes=max_bytes, max_age_seconds=max_age_seconds
+    )
+    _WORKER_STATE["cache"] = cache
+    _WORKER_STATE["flight"] = FileSingleFlight(cache.lock_dir)
+
+
+def _process_worker_run(spec):
+    """Run one design point from its picklable spec inside a worker.
+
+    Returns ``(outcome, trace events, cache counter deltas)`` — outcome
+    is the FlowResult or the exception the point raised, both shipped
+    back by value.
+    """
+    source_text, options_spec = spec
+    options = (
+        None if options_spec is None else FlowOptions.from_spec(options_spec)
+    )
+    cache: DiskStageCache = _WORKER_STATE["cache"]  # type: ignore[assignment]
+    before = cache.counters()
+    trace = FlowTrace()
+    try:
+        outcome = Flow(
+            source_text,
+            options,
+            cache=cache,
+            trace=trace,
+            flight=_WORKER_STATE["flight"],
+        ).run()
+    except Exception as exc:  # noqa: BLE001 — captured per job
+        outcome = exc
+    after = cache.counters()
+    deltas = {k: after[k] - before[k] for k in _COUNTER_KEYS}
+    events = [(e.stage, e.seconds, e.cached, e.origin) for e in trace.events]
+    return outcome, events, deltas
+
+
+class ProcessExecutor:
+    """Process-pool backend for CPU-bound sweeps.
+
+    Requires a :class:`DiskStageCache` — the only medium workers share.
+    With ``cache=None`` a temporary cache directory is created (and
+    removed on cleanup); passing an in-memory :class:`StageCache` is an
+    error, since its artifacts cannot cross the process boundary.
+
+    The ``spawn`` start method keeps workers independent of the parent's
+    thread state (fork + threads is unsound, and fork is disappearing as
+    a default); workers re-import this module, so everything they need
+    travels as picklable data.
+    """
+
+    name = "process"
+
+    def __init__(self) -> None:
+        self._tmp_dir: Optional[str] = None
+
+    def prepare_cache(self, cache: Optional[CacheBackend]) -> CacheBackend:
+        if cache is None:
+            self._tmp_dir = tempfile.mkdtemp(prefix="cfdlang-flow-cache-")
+            return DiskStageCache(self._tmp_dir)
+        if not isinstance(cache, DiskStageCache):
+            raise TypeError(
+                "executor 'process' shares artifacts between worker "
+                "address spaces through a DiskStageCache; pass "
+                "cache=DiskStageCache(dir) or cache=None for a temporary "
+                f"one, not {type(cache).__name__}"
+            )
+        return cache
+
+    def run(self, context: ExecutorContext) -> List[object]:
+        cache = context.cache
+        assert isinstance(cache, DiskStageCache)  # prepare_cache guarantees
+        specs = [
+            (
+                source_fingerprint(source),
+                None if options is None else options.to_spec(),
+            )
+            for source, options in context.jobs
+        ]
+        outcomes: List[object] = [None] * len(specs)
+        if not specs:
+            return outcomes
+        workers = min(max(1, context.workers), len(specs))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_process_worker_init,
+            initargs=(str(cache.cache_dir), cache.max_bytes, cache.max_age_seconds),
+        ) as pool:
+            futures = {
+                pool.submit(_process_worker_run, spec): i
+                for i, spec in enumerate(specs)
+            }
+            for future in as_completed(futures):
+                i = futures[future]
+                outcome, events, deltas = future.result()
+                outcomes[i] = outcome
+                cache.merge_stats(deltas)
+                if context.trace is not None:
+                    for stage, seconds, cached, origin in events:
+                        context.trace.record(stage, seconds, cached, origin)
+        return outcomes
+
+    def cleanup(self) -> None:
+        if self._tmp_dir is not None:
+            shutil.rmtree(self._tmp_dir, ignore_errors=True)
+            self._tmp_dir = None
+
+
+_EXECUTORS = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+DEFAULT_EXECUTOR = ThreadExecutor.name
+
+
+def executor_names() -> List[str]:
+    """The registered backend names, sorted."""
+    return sorted(_EXECUTORS)
+
+
+def get_executor(name: str) -> Executor:
+    """A fresh backend instance by name (actionable error on a typo)."""
+    try:
+        factory = _EXECUTORS[name]
+    except KeyError:
+        raise SystemGenerationError(
+            f"unknown executor {name!r}; known executors are: "
+            f"{', '.join(executor_names())}"
+        ) from None
+    return factory()
+
+
+def resolve_executor(executor) -> Executor:
+    """Accept a backend name, a backend instance, or None (the default)."""
+    if executor is None:
+        return get_executor(DEFAULT_EXECUTOR)
+    if isinstance(executor, str):
+        return get_executor(executor)
+    return executor

@@ -1,7 +1,17 @@
-"""Compiler/flow parameters (the "Parameters" input of Figs. 3 and 4)."""
+"""Compiler/flow parameters (the "Parameters" input of Figs. 3 and 4).
+
+Besides the dataclasses themselves, this module defines their *spec*
+form: a primitives-only dict representation (:meth:`FlowOptions.to_spec`
+/ :meth:`FlowOptions.from_spec`) used by the process-pool executor to
+ship job specs across address spaces without pickling live option
+objects.  Round-tripping through a spec preserves dataclass equality, so
+stage cache keys (which hash option ``repr``\\ s) are identical on both
+sides.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -72,3 +82,76 @@ class FlowOptions:
     def resolved_board(self) -> Board:
         """The board the system stages target (SystemOptions wins)."""
         return self.system.board if self.system.board is not None else self.board
+
+    # -- cross-process job specs ---------------------------------------------
+    def to_spec(self) -> Dict[str, object]:
+        """Primitives-only dict form of these options.
+
+        Everything nested (board, platform, directives, system knobs) is
+        flattened to builtin types, so the spec survives any pickle
+        protocol, JSON, or a subprocess boundary without importing this
+        package first.  Inverse of :meth:`from_spec`.
+        """
+        return {
+            "kernel_name": self.kernel_name,
+            "factorize": self.factorize,
+            "directives": dataclasses.asdict(self.directives),
+            "sharing": self.sharing.value,
+            "temporaries_internal": self.temporaries_internal,
+            "board": dataclasses.asdict(self.board),
+            "platform": dataclasses.asdict(self.platform),
+            "clock_mhz": self.clock_mhz,
+            "layout_overrides": dict(self.layout_overrides),
+            "partition_merges": {
+                name: list(group) for name, group in self.partition_merges.items()
+            },
+            "reduction_placement": self.reduction_placement,
+            "fuse_init": self.fuse_init,
+            "system": {
+                "k": self.system.k,
+                "m": self.system.m,
+                "board": (
+                    None
+                    if self.system.board is None
+                    else dataclasses.asdict(self.system.board)
+                ),
+                "n_elements": self.system.n_elements,
+                "overlap_transfers": self.system.overlap_transfers,
+            },
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "FlowOptions":
+        """Rebuild :class:`FlowOptions` from :meth:`to_spec` output.
+
+        ``FlowOptions.from_spec(opts.to_spec()) == opts`` for any
+        options value, which is what makes process-pool stage cache keys
+        line up with the parent's.
+        """
+        system = spec["system"]
+        return cls(
+            kernel_name=spec["kernel_name"],
+            factorize=spec["factorize"],
+            directives=HlsDirectives(**spec["directives"]),
+            sharing=SharingMode(spec["sharing"]),
+            temporaries_internal=spec["temporaries_internal"],
+            board=Board(**spec["board"]),
+            platform=PlatformModel(**spec["platform"]),
+            clock_mhz=spec["clock_mhz"],
+            layout_overrides=dict(spec["layout_overrides"]),
+            partition_merges={
+                name: tuple(group)
+                for name, group in spec["partition_merges"].items()
+            },
+            reduction_placement=spec["reduction_placement"],
+            fuse_init=spec["fuse_init"],
+            system=SystemOptions(
+                k=system["k"],
+                m=system["m"],
+                board=(
+                    None if system["board"] is None else Board(**system["board"])
+                ),
+                n_elements=system["n_elements"],
+                overlap_transfers=system["overlap_transfers"],
+            ),
+        )

@@ -14,8 +14,9 @@ actually ran, for how long, and where cache hits came from.
     trace.executed_counts()["parse"]   # -> 1: front end ran once for 3 points
 
 ``compile_many`` wraps this pattern for whole DSE grids: pass ``jobs=N``
-to run points on a thread pool (single-flight keying keeps concurrent
-points from duplicating stage work) and a
+and an ``executor`` (:mod:`repro.flow.executors`) to run points on a
+thread or process pool (single-flight keying keeps concurrent points
+from duplicating stage work, in-process or via lock files) and a
 :class:`~repro.flow.store.DiskStageCache` to reuse artifacts across
 processes.
 """
@@ -25,7 +26,6 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -41,12 +41,7 @@ from repro.flow.stages import (
     source_fingerprint,
     stage_names,
 )
-from repro.flow.store import (  # noqa: F401  (StageCache re-exported)
-    CacheBackend,
-    DiskStageCache,
-    SingleFlight,
-    StageCache,
-)
+from repro.flow.store import CacheBackend, SingleFlight, StageCache
 
 
 @dataclass(frozen=True)
@@ -424,6 +419,7 @@ def compile_many(
     cache: Optional[CacheBackend] = None,
     trace: Optional[FlowTrace] = None,
     return_exceptions: bool = False,
+    executor: Union[str, "Executor", None] = None,
 ) -> List["FlowResult"]:
     """Compile a batch of design points against one shared stage cache.
 
@@ -434,44 +430,46 @@ def compile_many(
     that vary only late parameters run the front end once per distinct
     program.
 
-    ``jobs > 1`` runs points on a thread pool.  The shared cache is
-    lock-protected and stage execution is single-flight keyed, so
-    concurrent points that need the same artifact compute it exactly
-    once — results are identical to the sequential run.
+    ``executor`` picks the backend (:mod:`repro.flow.executors`):
+    ``"thread"`` (the default) runs ``jobs > 1`` points on a thread pool
+    against the lock-protected shared cache with single-flight keying;
+    ``"process"`` runs them on a process pool for CPU-bound sweeps,
+    sharing artifacts through a :class:`DiskStageCache` (a temporary one
+    if ``cache`` is None) with lock-file single flight; ``"serial"``
+    forces the in-order reference semantics.  Every backend computes each
+    needed stage exactly once and produces results identical to the
+    sequential run.
 
     Errors are captured per point: with ``return_exceptions=True`` the
     failing point's slot holds the exception (other points still
     complete); otherwise the first failure (in point order) is raised.
+
+    When the cache carries a gc policy (``DiskStageCache(max_bytes=...,
+    max_age_seconds=...)``), it is enforced once the batch completes, so
+    long-running sweep servers stay within their disk budget.
     """
+    from repro.flow.executors import ExecutorContext, resolve_executor
+
     parsed = [_parse_job(job, i) for i, job in enumerate(points)]
-    cache = cache if cache is not None else StageCache()
-    outcomes: List[object] = [None] * len(parsed)
-
-    if jobs <= 1 and not return_exceptions:
-        # fast path, and the one that propagates errors eagerly
-        for i, (source, options) in enumerate(parsed):
-            outcomes[i] = Flow(source, options, cache=cache, trace=trace).run()
+    backend = resolve_executor(executor)
+    cache = backend.prepare_cache(cache)
+    try:
+        outcomes = backend.run(
+            ExecutorContext(
+                jobs=parsed,
+                workers=max(1, jobs),
+                cache=cache,
+                trace=trace,
+                fail_fast=not return_exceptions,
+            )
+        )
+        apply_gc_policy = getattr(cache, "apply_gc_policy", None)
+        if apply_gc_policy is not None:
+            apply_gc_policy()  # the automatic sweep-completion gc hook
+        if not return_exceptions:
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    raise outcome
         return outcomes  # type: ignore[return-value]
-
-    flight = SingleFlight() if jobs > 1 else None
-
-    def run_one(i: int) -> None:
-        source, options = parsed[i]
-        try:
-            outcomes[i] = Flow(
-                source, options, cache=cache, trace=trace, flight=flight
-            ).run()
-        except Exception as exc:  # noqa: BLE001 — captured per job
-            outcomes[i] = exc
-
-    if jobs <= 1:
-        for i in range(len(parsed)):
-            run_one(i)
-    else:
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            list(pool.map(run_one, range(len(parsed))))
-    if not return_exceptions:
-        for outcome in outcomes:
-            if isinstance(outcome, BaseException):
-                raise outcome
-    return outcomes  # type: ignore[return-value]
+    finally:
+        backend.cleanup()

@@ -16,7 +16,13 @@ output dict.  Two implementations ship here:
 Both are safe to share between the worker threads of a parallel
 ``compile_many``; :class:`SingleFlight` provides the per-key
 "first caller computes, everyone else waits" coordination that keeps
-concurrent design points from duplicating stage work.
+concurrent design points from duplicating stage work, and
+:class:`FileSingleFlight` extends the same protocol across *processes*
+(lock files next to the disk cache) for the process-pool executor.
+:class:`DiskStageCache` also carries the cache lifecycle machinery
+behind ``cfdlang-flow cache``: ``gc`` by size and age, ``verify`` for
+corrupt-entry detection, and ``apply_gc_policy`` as the automatic
+sweep-completion hook.
 """
 
 from __future__ import annotations
@@ -26,7 +32,8 @@ import pathlib
 import pickle
 import tempfile
 import threading
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, List, Mapping, Optional, Tuple
 
 try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters
     from typing import Protocol, runtime_checkable
@@ -151,17 +158,26 @@ class DiskStageCache:
 
     ``max_bytes`` (or an explicit :meth:`gc` call) bounds the on-disk
     footprint by evicting least-recently-used entries; reads touch the
-    file mtime so hot entries survive.
+    file mtime so hot entries survive.  ``max_age_seconds`` additionally
+    expires entries that have not been touched for that long.  Together
+    they form the cache's *gc policy*: ``apply_gc_policy()`` (called by
+    ``compile_many`` when a sweep completes) enforces both bounds, so a
+    long-running sweep server never needs manual cache maintenance.
     """
 
     _SUFFIX = ".pkl"
 
     def __init__(
-        self, cache_dir, *, max_bytes: Optional[int] = None
+        self,
+        cache_dir,
+        *,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
     ) -> None:
         self.cache_dir = pathlib.Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        self.max_age_seconds = max_age_seconds
         self._mem: Dict[str, Entry] = {}
         self._lock = threading.Lock()
         #: running upper bound on the disk footprint: bumped per write,
@@ -179,6 +195,13 @@ class DiskStageCache:
 
     def _entry_files(self):
         return self.cache_dir.glob("??/*" + self._SUFFIX)
+
+    @property
+    def lock_dir(self) -> pathlib.Path:
+        """Where cross-process coordination lock files live (see
+        :class:`FileSingleFlight`); outside the ``??/`` entry fan-out so
+        gc/clear/verify never mistake a lock for an entry."""
+        return self.cache_dir / ".locks"
 
     # -- backend protocol ----------------------------------------------------
     def _load(self, key: str, count: bool) -> Optional[Hit]:
@@ -284,18 +307,28 @@ class DiskStageCache:
             except OSError:
                 pass
 
-    def stats(self) -> Dict[str, int]:
+    def counters(self) -> Dict[str, int]:
+        """The hit/miss counters alone — no directory walk.
+
+        :meth:`stats` scans the store to size it, which is too costly
+        for the per-point before/after deltas the process workers take.
+        """
         with self._lock:
             return {
                 "hits": self.hits,
                 "memory_hits": self.memory_hits,
                 "disk_hits": self.disk_hits,
                 "misses": self.misses,
-                "entries": len(self._mem),
-                "disk_entries": sum(1 for _ in self._entry_files()),
-                "disk_bytes": self.disk_bytes(),
                 "put_errors": self.put_errors,
             }
+
+    def stats(self) -> Dict[str, int]:
+        out = self.counters()
+        with self._lock:
+            out["entries"] = len(self._mem)
+        out["disk_entries"] = sum(1 for _ in self._entry_files())
+        out["disk_bytes"] = self.disk_bytes()
+        return out
 
     def disk_bytes(self) -> int:
         total = 0
@@ -306,12 +339,24 @@ class DiskStageCache:
                 pass
         return total
 
-    def gc(self, max_bytes: int) -> int:
-        """Evict least-recently-used entries until <= ``max_bytes`` on disk.
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        *,
+        max_age_seconds: Optional[float] = None,
+    ) -> int:
+        """Evict disk entries by age, then LRU until <= ``max_bytes``.
 
-        Returns the number of entries removed.  Only the disk layer is
-        trimmed; in-memory entries (this process's working set) survive.
+        Entries not touched within ``max_age_seconds`` go first; the
+        least-recently-used survivors follow until the footprint fits
+        ``max_bytes``.  Called with no arguments, the bounds configured at
+        construction apply (a no-op if none were).  Returns the number of
+        entries removed.  Only the disk layer is trimmed; in-memory
+        entries (this process's working set) survive.
         """
+        if max_bytes is None and max_age_seconds is None:
+            max_bytes = self.max_bytes
+            max_age_seconds = self.max_age_seconds
         files = []
         for path in self._entry_files():
             try:
@@ -319,11 +364,17 @@ class DiskStageCache:
             except OSError:
                 continue
             files.append((st.st_mtime, st.st_size, path))
+        files.sort()  # oldest first
+        now = time.time()
         total = sum(size for _, size, _ in files)
         removed = 0
-        for _, size, path in sorted(files):  # oldest first
-            if total <= max_bytes:
-                break
+        for mtime, size, path in files:
+            expired = (
+                max_age_seconds is not None and now - mtime > max_age_seconds
+            )
+            over_budget = max_bytes is not None and total > max_bytes
+            if not expired and not over_budget:
+                break  # files are oldest-first: nothing later expires either
             try:
                 path.unlink()
             except OSError:
@@ -333,6 +384,60 @@ class DiskStageCache:
         with self._lock:
             self._disk_bytes_estimate = total  # resync after the real scan
         return removed
+
+    def apply_gc_policy(self) -> int:
+        """Enforce the configured ``max_bytes``/``max_age_seconds`` bounds.
+
+        The sweep-completion hook: ``compile_many`` calls this after every
+        batch, so a cache constructed with a policy stays bounded without
+        explicit maintenance.  Returns entries removed (0 if no policy).
+        """
+        if self.max_bytes is None and self.max_age_seconds is None:
+            return 0
+        return self.gc()
+
+    def verify(self, *, fix: bool = False) -> Dict[str, object]:
+        """Scan every disk entry and report the ones that fail to load.
+
+        Returns ``{"checked": n, "corrupt": [keys...], "removed": n}``.
+        With ``fix=True`` corrupt files are deleted (they would be
+        treated as misses and overwritten on next access anyway; fixing
+        merely reclaims the space eagerly).
+        """
+        checked = 0
+        corrupt: List[str] = []
+        removed = 0
+        for path in sorted(self._entry_files()):
+            checked += 1
+            try:
+                with open(path, "rb") as f:
+                    entry = pickle.load(f)
+                if not isinstance(entry, dict):
+                    raise pickle.UnpicklingError("cache entry is not a dict")
+            except Exception:
+                corrupt.append(path.name[: -len(self._SUFFIX)])
+                if fix:
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return {"checked": checked, "corrupt": corrupt, "removed": removed}
+
+    def merge_stats(self, stats: Mapping[str, int]) -> None:
+        """Fold another instance's counter deltas into this one.
+
+        The process-pool executor runs workers with their own
+        ``DiskStageCache`` over the same directory; their hit/miss
+        deltas come back here so the parent's :meth:`stats` (and the CLI
+        cache line) describe the whole sweep.
+        """
+        with self._lock:
+            self.hits += stats.get("hits", 0)
+            self.memory_hits += stats.get("memory_hits", 0)
+            self.disk_hits += stats.get("disk_hits", 0)
+            self.misses += stats.get("misses", 0)
+            self.put_errors += stats.get("put_errors", 0)
 
     def __len__(self) -> int:
         return len(self._mem)
@@ -376,3 +481,85 @@ class SingleFlight:
             event = self._inflight.get(key)
         if event is not None:
             event.wait(timeout)
+
+
+class FileSingleFlight:
+    """Cross-process single-flight coordination via lock files.
+
+    The same protocol as :class:`SingleFlight` — ``begin`` elects one
+    leader per key, followers ``wait`` then re-check the cache — but the
+    election medium is a lock file under ``lock_dir`` created with
+    ``O_CREAT | O_EXCL`` (atomic on POSIX and NT), so it works between
+    the workers of a process-pool ``compile_many`` sharing one
+    :class:`DiskStageCache`.
+
+    Crash safety: a leader that dies without ``finish`` leaves its lock
+    behind.  Locks older than ``stale_seconds`` are treated as abandoned
+    — ``wait`` returns (the caller re-checks the cache and runs ``begin``
+    again) and ``begin`` steals the stale file.  A stage that legitimately
+    runs longer than ``stale_seconds`` degrades to duplicated work, never
+    to a wrong result: the cache write remains atomic.
+    """
+
+    _SUFFIX = ".lock"
+
+    def __init__(
+        self,
+        lock_dir,
+        *,
+        stale_seconds: float = 60.0,
+        poll_seconds: float = 0.01,
+    ) -> None:
+        self.lock_dir = pathlib.Path(lock_dir)
+        self.lock_dir.mkdir(parents=True, exist_ok=True)
+        self.stale_seconds = stale_seconds
+        self.poll_seconds = poll_seconds
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.lock_dir / (key + self._SUFFIX)
+
+    def _is_stale(self, path: pathlib.Path) -> bool:
+        try:
+            return time.time() - path.stat().st_mtime >= self.stale_seconds
+        except OSError:
+            return False  # released while we looked: not ours to steal
+
+    def begin(self, key: str) -> bool:
+        path = self._path(key)
+        for attempt in range(2):
+            try:
+                fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if attempt or not self._is_stale(path):
+                    return False
+                try:  # abandoned by a crashed leader: steal and retry once
+                    path.unlink()
+                except OSError:
+                    return False
+                continue
+            except OSError:
+                # unwritable lock dir: fall back to "everyone leads" —
+                # duplicated work, but progress and a correct cache
+                return True
+            with os.fdopen(fd, "w") as f:
+                f.write(str(os.getpid()))
+            return True
+        return False
+
+    def finish(self, key: str) -> None:
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    def wait(self, key: str, timeout: Optional[float] = None) -> None:
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        path = self._path(key)
+        while path.exists():
+            if self._is_stale(path):
+                return  # leader died; caller re-checks and takes over
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            time.sleep(self.poll_seconds)

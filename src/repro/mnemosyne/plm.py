@@ -7,7 +7,6 @@ from typing import Dict, List, Tuple
 
 from repro.errors import MemoryArchitectureError
 from repro.mnemosyne.bram import PortClass, brams_for_unit
-from repro.utils import ceil_div
 
 # Controller logic per PLM unit (address decode + write-enable fan-out).
 # Small by design: Table I shows near-identical logic for the sharing and

@@ -13,7 +13,7 @@ otherwise in memory-accumulate style (zero-init loop + in-place updates).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.errors import PolyhedralError
 from repro.poly.schedule import PolyProgram, PolyStatement

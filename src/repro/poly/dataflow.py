@@ -16,7 +16,7 @@ Two granularities:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import PolyhedralError
 from repro.poly.aff import AffExpr, AffTuple

@@ -14,7 +14,7 @@ from typing import List, Sequence, Tuple
 from repro.errors import PolyhedralError
 from repro.poly.imap import IMap, _canonical_space, _reindex
 from repro.poly.iset import BasicSet, Constraint, ISet
-from repro.poly.space import Space, anonymous
+from repro.poly.space import anonymous
 
 
 def _lex_disjunct(

@@ -16,7 +16,7 @@ innermost:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PolyhedralError
@@ -26,7 +26,6 @@ from repro.poly.iset import BasicSet
 from repro.poly.space import Space, anonymous
 from repro.teil.ops import Contraction, Ewise
 from repro.teil.program import Function
-from repro.teil.types import TensorKind
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,6 @@ from repro.errors import SimulationError
 from repro.system.host import HostModel
 from repro.system.integration import SystemDesign
 from repro.teil.interp import interpret
-from repro.teil.types import TensorKind
 
 
 @dataclass

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.errors import SimulationError
-from repro.sim.simulator import SimulationResult, simulate_system
+from repro.sim.simulator import simulate_system
 from repro.system.integration import SystemDesign
 from repro.utils import ceil_div
 

@@ -9,8 +9,8 @@ for logic synthesis along with the corresponding host software."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.errors import SystemGenerationError
 from repro.hls.report import HlsReport

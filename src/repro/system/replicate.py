@@ -9,7 +9,7 @@ constraint greatly simplifies the system integration logic").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.errors import SystemGenerationError
 from repro.hls.resources import KernelResources

@@ -6,7 +6,7 @@ from typing import Dict, List, Tuple
 
 from repro.teil.ops import Contraction, Ewise
 from repro.teil.program import Function, Statement
-from repro.teil.types import DTYPE_BYTES, TensorKind
+from repro.teil.types import TensorKind
 from repro.utils import prod
 
 

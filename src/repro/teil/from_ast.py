@@ -9,7 +9,7 @@ order of operations").
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.cfdlang import ast as A
 from repro.cfdlang.sema import analyze

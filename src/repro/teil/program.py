@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import IRError
-from repro.teil.ops import Contraction, Ewise, Operation
+from repro.teil.ops import Operation
 from repro.teil.types import TensorDecl, TensorKind
 
 

@@ -1,8 +1,6 @@
 """The contraction-order planner: DP optimality vs brute force."""
 
-from itertools import permutations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ from repro.errors import SimulationError
 from repro.flow import compile_flow
 from repro.sim.simulator import simulate_system
 from repro.system.cluster import (
-    ClusterResult,
     NetworkModel,
     scaling_series,
     simulate_cluster,

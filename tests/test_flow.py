@@ -11,10 +11,8 @@ from repro.apps.helmholtz import (
     make_element_data,
     reference_inverse_helmholtz,
 )
-from repro.codegen.hlsdirectives import HlsDirectives
 from repro.flow import FlowOptions, compile_flow, write_artifacts
 from repro.flow.cli import main as cli_main
-from repro.mnemosyne import SharingMode
 
 
 class TestCompileFlow:

@@ -1,0 +1,302 @@
+"""Execution backends: serial/thread/process equivalence, cross-process
+single flight, option-spec round-trips, and executor selection."""
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro.apps.helmholtz import HELMHOLTZ_DSL
+from repro.errors import SystemGenerationError
+from repro.flow import (
+    DiskStageCache,
+    FileSingleFlight,
+    FlowOptions,
+    FlowTrace,
+    StageCache,
+    SystemOptions,
+    compile_many,
+    executor_names,
+    get_executor,
+)
+from repro.flow.executors import DEFAULT_EXECUTOR, resolve_executor
+from repro.flow.stages import FRONT_END_STAGES
+from repro.mnemosyne import SharingMode
+from repro.system.board import ALVEO_U280
+
+#: the acceptance sweep: 5 helmholtz points over k = m
+SWEEP = [
+    (HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=k, m=k)))
+    for k in (1, 2, 4, 8, 16)
+]
+
+
+def result_signature(results):
+    """Everything that must be bit-identical across backends."""
+    return [
+        (
+            r.kernel.source,
+            r.hls.summary(),
+            r.memory.brams,
+            (r.system.k, r.system.m),
+            r.system.resources,
+            r.sim.total_cycles,
+        )
+        for r in results
+    ]
+
+
+class TestExecutorRegistry:
+    def test_names(self):
+        assert executor_names() == ["process", "serial", "thread"]
+        assert DEFAULT_EXECUTOR == "thread"
+
+    def test_get_unknown_executor(self):
+        with pytest.raises(SystemGenerationError, match="known executors are"):
+            get_executor("distributed")
+
+    def test_resolve_accepts_instance_and_none(self):
+        backend = get_executor("serial")
+        assert resolve_executor(backend) is backend
+        assert resolve_executor(None).name == DEFAULT_EXECUTOR
+        assert resolve_executor("process").name == "process"
+
+    def test_compile_many_rejects_unknown_executor(self):
+        with pytest.raises(SystemGenerationError, match="unknown executor"):
+            compile_many([HELMHOLTZ_DSL], executor="gpu")
+
+
+class TestOptionSpecs:
+    def test_default_round_trip(self):
+        opts = FlowOptions()
+        assert FlowOptions.from_spec(opts.to_spec()) == opts
+
+    def test_non_default_round_trip(self):
+        from repro.codegen.hlsdirectives import HlsDirectives
+
+        opts = FlowOptions(
+            kernel_name="k2",
+            factorize=False,
+            directives=HlsDirectives(pipeline="inner", unroll_factor=2,
+                                     array_partition={"u": 4}),
+            sharing=SharingMode.CLIQUE,
+            temporaries_internal=True,
+            board=ALVEO_U280,
+            clock_mhz=300.0,
+            layout_overrides={"u": "column_major"},
+            partition_merges={"buf": ("t", "r")},
+            reduction_placement="free",
+            fuse_init=False,
+            system=SystemOptions(k=4, m=8, board=ALVEO_U280,
+                                 n_elements=123, overlap_transfers=True),
+        )
+        restored = FlowOptions.from_spec(opts.to_spec())
+        assert restored == opts
+        # cache keys hash option reprs: equality must extend to repr
+        assert repr(restored) == repr(opts)
+
+    def test_spec_is_primitives_only(self):
+        spec = FlowOptions().to_spec()
+
+        def assert_plain(value):
+            if isinstance(value, dict):
+                for v in value.values():
+                    assert_plain(v)
+            elif isinstance(value, (list, tuple)):
+                for v in value:
+                    assert_plain(v)
+            else:
+                assert value is None or isinstance(value, (str, int, float, bool))
+
+        assert_plain(spec)
+
+
+class TestProcessExecutor:
+    def test_process_matches_serial_bit_identical(self):
+        """Acceptance: executor='process', jobs=4 equals the serial run
+        on the 5-point helmholtz sweep."""
+        serial = compile_many(SWEEP, executor="serial")
+        proc = compile_many(SWEEP, jobs=4, executor="process")
+        assert result_signature(serial) == result_signature(proc)
+
+    def test_cross_process_single_flight_runs_front_end_once(self):
+        trace = FlowTrace()
+        compile_many(SWEEP, jobs=4, executor="process", trace=trace)
+        executed = trace.executed_counts()
+        for name in FRONT_END_STAGES:
+            assert executed[name] == 1, name
+        assert executed["build-system"] == len(SWEEP)
+
+    def test_shared_disk_cache_reused_on_second_batch(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        compile_many(SWEEP, jobs=2, executor="process", cache=cache)
+        assert cache.stats()["disk_entries"] > 0
+        t2 = FlowTrace()
+        compile_many(SWEEP, jobs=2, executor="process",
+                     cache=DiskStageCache(tmp_path), trace=t2)
+        assert t2.executed_counts() == {}
+
+    def test_worker_stats_merge_into_parent_cache(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        compile_many(SWEEP[:2], jobs=2, executor="process", cache=cache)
+        stats = cache.stats()
+        # the parent process never ran a stage itself, yet it sees the
+        # workers' traffic
+        assert stats["misses"] > 0
+        assert stats["disk_entries"] > 0
+
+    def test_memory_cache_is_rejected(self):
+        with pytest.raises(TypeError, match="DiskStageCache"):
+            compile_many(SWEEP[:1], jobs=2, executor="process",
+                         cache=StageCache())
+
+    def test_per_point_error_capture_across_processes(self):
+        jobs = SWEEP[:2] + [
+            (HELMHOLTZ_DSL, FlowOptions(sharing=SharingMode.NONE,
+                                        system=SystemOptions(k=16, m=16))),
+        ]
+        results = compile_many(jobs, jobs=2, executor="process",
+                               return_exceptions=True)
+        assert results[0].system.k == 1 and results[1].system.k == 2
+        assert isinstance(results[2], SystemGenerationError)
+        with pytest.raises(SystemGenerationError):
+            compile_many(jobs, jobs=2, executor="process")
+
+    def test_gc_policy_applied_on_sweep_completion(self, tmp_path):
+        cache = DiskStageCache(tmp_path, max_age_seconds=0.0)
+        compile_many(SWEEP[:2], jobs=2, executor="process", cache=cache)
+        # every entry is "too old" the moment the sweep finishes, so the
+        # completion hook must have emptied the disk layer
+        assert cache.stats()["disk_entries"] == 0
+
+    def test_empty_batch(self):
+        assert compile_many([], jobs=4, executor="process") == []
+
+
+class TestSerialAndThreadExecutors:
+    def test_thread_matches_serial(self):
+        grid = [
+            (HELMHOLTZ_DSL, FlowOptions(sharing=mode,
+                                        system=SystemOptions(k=k, m=k)))
+            for mode in (SharingMode.NONE, SharingMode.MATCHING)
+            for k in (1, 2, 4)
+        ]
+        serial = compile_many(grid, executor="serial")
+        threaded = compile_many(grid, jobs=4, executor="thread")
+        assert result_signature(serial) == result_signature(threaded)
+
+    def test_serial_raises_on_first_failure(self):
+        jobs = [
+            (HELMHOLTZ_DSL, FlowOptions(sharing=SharingMode.NONE,
+                                        system=SystemOptions(k=16, m=16))),
+            SWEEP[0],
+        ]
+        with pytest.raises(SystemGenerationError):
+            compile_many(jobs, executor="serial")
+
+    def test_serial_return_exceptions(self):
+        jobs = [
+            (HELMHOLTZ_DSL, FlowOptions(sharing=SharingMode.NONE,
+                                        system=SystemOptions(k=16, m=16))),
+            SWEEP[0],
+        ]
+        results = compile_many(jobs, executor="serial", return_exceptions=True)
+        assert isinstance(results[0], SystemGenerationError)
+        assert results[1].system.k == 1
+
+
+class TestFileSingleFlight:
+    def test_one_leader_per_key(self, tmp_path):
+        flight = FileSingleFlight(tmp_path)
+        assert flight.begin("k")
+        assert not flight.begin("k")
+        flight.finish("k")
+        assert flight.begin("k")
+        flight.finish("k")
+
+    def test_two_instances_share_the_lock_dir(self, tmp_path):
+        a = FileSingleFlight(tmp_path)
+        b = FileSingleFlight(tmp_path)
+        assert a.begin("k")
+        assert not b.begin("k")
+        a.finish("k")
+        assert b.begin("k")
+        b.finish("k")
+
+    def test_wait_returns_after_finish(self, tmp_path):
+        import threading
+
+        flight = FileSingleFlight(tmp_path)
+        flight.begin("k")
+        woke = threading.Event()
+
+        def waiter():
+            flight.wait("k")
+            woke.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        flight.finish("k")
+        t.join(timeout=5)
+        assert woke.is_set()
+
+    def test_stale_lock_is_stolen(self, tmp_path):
+        flight = FileSingleFlight(tmp_path, stale_seconds=5.0)
+        assert flight.begin("k")
+        lock = tmp_path / "k.lock"
+        past = time.time() - 60
+        os.utime(lock, (past, past))
+        # a fresh leader steals the abandoned lock...
+        assert flight.begin("k")
+        flight.finish("k")
+
+    def test_wait_returns_on_stale_lock(self, tmp_path):
+        flight = FileSingleFlight(tmp_path, stale_seconds=5.0)
+        flight.begin("k")
+        lock = tmp_path / "k.lock"
+        past = time.time() - 60
+        os.utime(lock, (past, past))
+        t0 = time.monotonic()
+        flight.wait("k")  # must not block for the full stale window
+        assert time.monotonic() - t0 < 2.0
+        flight.finish("k")
+
+    def test_wait_on_unknown_key_returns(self, tmp_path):
+        FileSingleFlight(tmp_path).wait("never-started", timeout=0.1)
+
+    def test_wait_timeout(self, tmp_path):
+        flight = FileSingleFlight(tmp_path, stale_seconds=60.0)
+        flight.begin("k")
+        t0 = time.monotonic()
+        flight.wait("k", timeout=0.1)
+        assert 0.05 < time.monotonic() - t0 < 2.0
+        flight.finish("k")
+
+    def test_flow_session_accepts_file_flight(self, tmp_path):
+        """A Flow can use lock-file coordination directly (what the
+        process workers do)."""
+        from repro.flow import Flow
+
+        cache = DiskStageCache(tmp_path / "cache")
+        flight = FileSingleFlight(cache.lock_dir)
+        res = Flow(HELMHOLTZ_DSL, cache=cache, flight=flight).run()
+        assert res.memory.brams == 18
+        assert not list(cache.lock_dir.glob("*.lock"))  # all released
+
+
+class TestSweepOptionVariants:
+    def test_process_sweep_with_distinct_options(self):
+        """Options survive the spec round-trip per point, not just the
+        defaults: sharing mode and board vary across the batch."""
+        jobs = [
+            (HELMHOLTZ_DSL, FlowOptions(sharing=SharingMode.NONE)),
+            (HELMHOLTZ_DSL, FlowOptions(sharing=SharingMode.MATCHING)),
+            (HELMHOLTZ_DSL, dataclasses.replace(
+                FlowOptions(), system=SystemOptions(board=ALVEO_U280))),
+        ]
+        serial = compile_many(jobs, executor="serial")
+        proc = compile_many(jobs, jobs=3, executor="process")
+        assert result_signature(serial) == result_signature(proc)
+        assert proc[2].system.board.name == "Alveo U280"

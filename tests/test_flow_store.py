@@ -1,7 +1,12 @@
-"""Artifact store backends: disk persistence, concurrency, single-flight."""
+"""Artifact store backends: disk persistence, concurrency, single-flight,
+gc lifecycle, and corrupt-entry recovery under concurrent writers."""
 
+import multiprocessing
+import os
 import pickle
 import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -163,6 +168,76 @@ class TestDiskStageCache:
         assert cache.fetch("aa11") is None
         assert cache.stats()["disk_entries"] == 0
 
+    def test_gc_max_age_expires_untouched_entries(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        for i in range(4):
+            cache.put(f"{i:02d}dd", {"i": i})
+        for i in (0, 1):  # two entries last touched an hour ago
+            past = time.time() - 3600
+            os.utime(cache._path(f"{i:02d}dd"), (past, past))
+        removed = cache.gc(max_age_seconds=600)
+        assert removed == 2
+        fresh = DiskStageCache(tmp_path)
+        assert fresh.fetch("00dd") is None
+        assert fresh.fetch("03dd") is not None
+
+    def test_gc_age_and_size_compose(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        for i in range(6):
+            key = f"{i:02d}ee"
+            cache.put(key, {"payload": "z" * 1000})
+            past = time.time() - (100 - i)
+            os.utime(cache._path(key), (past, past))
+        size = cache.disk_bytes()
+        # age drops nothing (all fresh enough), size then halves the store
+        removed = cache.gc(size // 2, max_age_seconds=3600)
+        assert removed == 3
+
+    def test_gc_defaults_to_constructed_policy(self, tmp_path):
+        cache = DiskStageCache(tmp_path, max_age_seconds=600)
+        cache.put("aaff", {"x": 1})
+        past = time.time() - 3600
+        os.utime(cache._path("aaff"), (past, past))
+        assert cache.gc() == 1  # no args: the constructed policy applies
+        assert DiskStageCache(tmp_path).gc() == 0  # no policy: no-op
+
+    def test_apply_gc_policy(self, tmp_path):
+        unbounded = DiskStageCache(tmp_path)
+        unbounded.put("aa01", {"x": 1})
+        assert unbounded.apply_gc_policy() == 0
+        bounded = DiskStageCache(tmp_path, max_bytes=0)
+        assert bounded.apply_gc_policy() >= 0
+        assert bounded.disk_bytes() == 0
+
+    def test_verify_reports_and_fixes_corrupt_entries(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        cache.put("aa21", {"x": 1})
+        cache.put("bb21", {"y": 2})
+        (tmp_path / "cc").mkdir()
+        (tmp_path / "cc" / "cc21.pkl").write_bytes(b"garbage")
+        report = DiskStageCache(tmp_path).verify()
+        assert report["checked"] == 3
+        assert report["corrupt"] == ["cc21"]
+        assert report["removed"] == 0
+        assert (tmp_path / "cc" / "cc21.pkl").exists()  # detection only
+        report = DiskStageCache(tmp_path).verify(fix=True)
+        assert report["removed"] == 1
+        assert not (tmp_path / "cc" / "cc21.pkl").exists()
+        assert DiskStageCache(tmp_path).verify() == {
+            "checked": 2, "corrupt": [], "removed": 0,
+        }
+
+    def test_merge_stats(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        cache.put("aa31", {"x": 1})
+        cache.fetch("aa31")
+        cache.merge_stats({"hits": 3, "memory_hits": 1, "disk_hits": 2,
+                           "misses": 5, "put_errors": 1})
+        s = cache.stats()
+        assert s["hits"] == 4 and s["memory_hits"] == 2
+        assert s["disk_hits"] == 2 and s["misses"] == 5
+        assert s["put_errors"] == 1
+
 
 class TestParallelCompileMany:
     def test_parallel_matches_sequential(self):
@@ -293,6 +368,8 @@ class TestCliIntegration:
     def test_cache_dir_reports_disk_hits_on_second_run(self, tmp_path, capsys):
         from repro.flow.cli import main as cli_main
 
+        from repro.flow import stage_names
+
         args = ["--app", "helmholtz", "-n", "6", "-o", str(tmp_path / "out"),
                 "--cache-dir", str(tmp_path / "cache"), "--trace"]
         assert cli_main(args) == 0
@@ -300,7 +377,8 @@ class TestCliIntegration:
         assert "cache: 0 hits" in first
         assert cli_main(args) == 0
         second = capsys.readouterr().out
-        assert "cache: 14 hits (0 memory, 14 disk), 0 misses" in second
+        n = len(stage_names())  # robust to stages being added or split
+        assert f"cache: {n} hits (0 memory, {n} disk), 0 misses" in second
 
     def test_unknown_board_lists_known_ones(self, capsys):
         from repro.flow.cli import main as cli_main
@@ -338,6 +416,218 @@ class TestCliIntegration:
 
         assert cli_main(["--app", "helmholtz", "--sweep", "1x1,banana"]) == 2
         assert "bad sweep point" in capsys.readouterr().err
+
+
+_SPAWN = multiprocessing.get_context("spawn")
+
+
+def _stress_writer(args):
+    """Hammer one shared cache dir with puts/fetches (+ per-put gc churn)."""
+    cache_dir, seed, n = args
+    cache = DiskStageCache(cache_dir, max_bytes=20_000)
+    for i in range(n):
+        key = f"{i % 8:02d}w{seed}x{i}"
+        cache.put(key, {"writer": seed, "i": i, "payload": "x" * 400})
+        cache.fetch(key)
+        # cross-writer reads race against the other writers' gc evictions
+        cache.fetch(f"{i % 8:02d}w{(seed + 1) % 4}x{i}")
+    return cache.put_errors
+
+
+def _stress_corruptor(args):
+    """Interleave valid writes with garbage files in the entry fan-out."""
+    cache_dir, n = args
+    cache = DiskStageCache(cache_dir)
+    for i in range(n):
+        cache.put(f"{i % 4:02d}good{i}", {"i": i})
+        bad = cache._path(f"{i % 4:02d}bad{i}")
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_bytes(b"\x80truncated-garbage")
+    return n
+
+
+def _stress_reader(args):
+    """Fetch concurrently with writers/corruptors; must never raise."""
+    cache_dir, n = args
+    cache = DiskStageCache(cache_dir)
+    ok = 0
+    for i in range(n):
+        for key in (f"{i % 4:02d}good{i}", f"{i % 4:02d}bad{i}"):
+            hit = cache.fetch(key)
+            if hit is not None:
+                assert isinstance(hit[0], dict)
+                ok += 1
+    return ok
+
+
+class TestConcurrentWriterStress:
+    """Satellite: DiskStageCache gc/eviction and corrupt-entry recovery
+    must survive concurrent writer *processes* (the process-pool
+    executor's actual workload)."""
+
+    def test_concurrent_writers_with_gc_churn(self, tmp_path):
+        with ProcessPoolExecutor(max_workers=4, mp_context=_SPAWN) as pool:
+            put_errors = list(pool.map(
+                _stress_writer, [(str(tmp_path), seed, 40) for seed in range(4)]
+            ))
+        assert put_errors == [0, 0, 0, 0]
+        # every surviving entry is readable: atomic writes mean gc races
+        # can lose entries (recomputed later) but never corrupt them
+        report = DiskStageCache(tmp_path).verify()
+        assert report["corrupt"] == []
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_concurrent_corruption_recovery(self, tmp_path):
+        jobs = [("corrupt", (str(tmp_path), 25)) for _ in range(2)] + [
+            ("read", (str(tmp_path), 25)) for _ in range(2)
+        ]
+        with ProcessPoolExecutor(max_workers=4, mp_context=_SPAWN) as pool:
+            futures = [
+                pool.submit(
+                    _stress_corruptor if kind == "corrupt" else _stress_reader,
+                    args,
+                )
+                for kind, args in jobs
+            ]
+            results = [f.result() for f in futures]  # raises on any crash
+        assert all(r >= 0 for r in results)
+        # post-hoc lifecycle repair: verify --fix leaves a clean store
+        cache = DiskStageCache(tmp_path)
+        report = cache.verify(fix=True)
+        assert report["removed"] == len(report["corrupt"])
+        assert DiskStageCache(tmp_path).verify()["corrupt"] == []
+
+    def test_fetch_races_with_gc_eviction(self, tmp_path):
+        """Eviction between the memory-layer miss and the disk read is a
+        miss, not an error (FileNotFoundError path)."""
+        cache = DiskStageCache(tmp_path)
+        cache.put("aa61", {"x": 1})
+        other = DiskStageCache(tmp_path)
+        other.gc(0)  # evict everything behind the first instance's back
+        fresh = DiskStageCache(tmp_path)
+        assert fresh.fetch("aa61") is None
+        assert cache.fetch("aa61")[1] == "memory"  # its working set survives
+
+
+class TestCacheCli:
+    def _seed(self, tmp_path, n=3):
+        cache = DiskStageCache(tmp_path)
+        for i in range(n):
+            cache.put(f"{i:02d}cli", {"payload": "x" * 200})
+        return cache
+
+    def test_stats(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        self._seed(tmp_path)
+        assert cli_main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 3" in out
+
+    def test_gc_max_bytes_and_age(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        cache = self._seed(tmp_path)
+        past = time.time() - 3600
+        os.utime(cache._path("00cli"), (past, past))
+        rc = cli_main(["cache", "gc", "--cache-dir", str(tmp_path),
+                       "--max-age", "10m"])
+        assert rc == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        rc = cli_main(["cache", "gc", "--cache-dir", str(tmp_path),
+                       "--max-bytes", "0"])
+        assert rc == 0
+        assert DiskStageCache(tmp_path).stats()["disk_entries"] == 0
+
+    def test_gc_requires_a_bound(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        assert cli_main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+        assert "needs --max-bytes" in capsys.readouterr().err
+
+    def test_clear(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        self._seed(tmp_path)
+        assert cli_main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 3 entries" in capsys.readouterr().out
+        assert DiskStageCache(tmp_path).stats()["disk_entries"] == 0
+
+    def test_verify_detects_then_fixes(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        self._seed(tmp_path)
+        (tmp_path / "ff").mkdir()
+        (tmp_path / "ff" / "ffbad.pkl").write_bytes(b"junk")
+        assert cli_main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out and "corrupt: ffbad" in out
+        rc = cli_main(["cache", "verify", "--cache-dir", str(tmp_path),
+                       "--fix"])
+        assert rc == 0
+        assert "1 removed" in capsys.readouterr().out
+        assert cli_main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+
+    def test_missing_cache_dir_is_an_error(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        rc = cli_main(["cache", "stats", "--cache-dir", str(tmp_path / "no")])
+        assert rc == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_size_and_age_suffix_parsing(self):
+        from repro.flow.cli import _parse_age, _parse_size
+
+        assert _parse_size("1024") == 1024
+        assert _parse_size("4K") == 4096
+        assert _parse_size("2M") == 2 << 20
+        assert _parse_size("1G") == 1 << 30
+        assert _parse_age("90") == 90.0
+        assert _parse_age("15m") == 900.0
+        assert _parse_age("12h") == 43200.0
+        assert _parse_age("7d") == 604800.0
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_size("banana")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_age("fortnight")
+
+
+class TestExpectFrontEndCached:
+    def test_cold_run_fails_warm_run_passes(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        args = ["--app", "helmholtz", "-n", "6", "-o", str(tmp_path / "o"),
+                "--cache-dir", str(tmp_path / "c"),
+                "--expect-front-end-cached"]
+        assert cli_main(args) == 1  # cold cache: the front end had to run
+        assert "front-end stages ran" in capsys.readouterr().err
+        assert cli_main(args) == 0  # warm cache: everything served from disk
+        capsys.readouterr()
+
+    def test_sweep_mode(self, tmp_path, capsys):
+        from repro.flow.cli import main as cli_main
+
+        args = ["--app", "helmholtz", "--sweep", "1x1,2x2", "--jobs", "2",
+                "-o", str(tmp_path / "o"),
+                "--cache-dir", str(tmp_path / "c"),
+                "--expect-front-end-cached"]
+        assert cli_main(args) == 1
+        capsys.readouterr()
+        # second sweep: front end fully cached, system stages recompute
+        assert cli_main(args) == 0
+        capsys.readouterr()
+
+    def test_process_sweep_without_cache_dir_rejected(self, capsys):
+        """A throwaway cache starts cold, so the check can never pass —
+        reject the combination instead of failing confusingly."""
+        from repro.flow.cli import main as cli_main
+
+        rc = cli_main(["--app", "helmholtz", "--sweep", "1x1",
+                       "--executor", "process", "--expect-front-end-cached"])
+        assert rc == 2
+        assert "needs --cache-dir" in capsys.readouterr().err
 
 
 class TestBoardRegistry:

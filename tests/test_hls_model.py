@@ -1,6 +1,5 @@
 """Tests for the HLS model: II analysis, latency, resources, reports."""
 
-import numpy as np
 import pytest
 
 from repro.apps.helmholtz import inverse_helmholtz_program, make_element_data
@@ -9,7 +8,6 @@ from repro.codegen.hlsdirectives import HlsDirectives
 from repro.errors import HLSError
 from repro.hls import csim_kernel, synthesize
 from repro.hls.opcost import DEFAULT_LIBRARY, operators_for_kind
-from repro.hls.pipeline import schedule_stage
 from repro.poly.reschedule import RescheduleOptions, reschedule
 from repro.poly.schedule import reference_schedule
 from repro.teil import canonicalize, lower_program

@@ -1,6 +1,5 @@
 """Tests for liveness analysis and the compatibility graph (Fig. 5)."""
 
-import pytest
 
 from repro.apps.helmholtz import inverse_helmholtz_program
 from repro.memory import (

@@ -13,13 +13,11 @@ from repro.poly.dataflow import (
     statement_rar_pairs,
 )
 from repro.poly.reschedule import (
-    RescheduleOptions,
     innermost_stride,
     raw_cost,
     reschedule,
 )
 from repro.poly.schedule import (
-    build_statements,
     reference_schedule,
     with_statement_order,
     with_loop_permutation,

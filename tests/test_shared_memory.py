@@ -17,7 +17,7 @@ from repro.apps.helmholtz import (
 )
 from repro.errors import MemoryArchitectureError
 from repro.flow import FlowOptions, compile_flow
-from repro.mnemosyne import SharingMode, build_memory_subsystem
+from repro.mnemosyne import SharingMode
 from repro.sim.sharedmem import run_python_kernel_shared
 from repro.teil import interpret
 

@@ -8,7 +8,7 @@ from repro.apps.helmholtz import (
     make_element_data,
     reference_inverse_helmholtz,
 )
-from repro.flow import FlowOptions, compile_flow
+from repro.flow import compile_flow
 from repro.sim import (
     simulate_software,
     simulate_system,

@@ -1,7 +1,6 @@
 """Tests for canonicalization: contraction factorization and cleanups."""
 
 import numpy as np
-import pytest
 
 from repro.apps.helmholtz import (
     inverse_helmholtz_program,
