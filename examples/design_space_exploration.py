@@ -17,10 +17,16 @@ every artifact across processes — the trace reports the disk hits.
 ``--executor process`` runs the CPU-bound front ends on a process pool
 (one per degree, deduplicated across workers by lock-file single
 flight), which is where a cold multi-program sweep actually scales with
-cores.
+cores.  ``--executor distributed`` spools the same job specs through a
+durable work queue instead: the broker spawns ``--jobs`` local worker
+processes by default, or — with ``--queue DIR`` pointing at a standing
+spool on a shared filesystem — any fleet of ``cfdlang-flow worker``
+processes on any hosts drains the grid, which is how the sweep scales
+past one machine.
 
     python examples/design_space_exploration.py [cache-dir] \\
-        [--executor serial|thread|process] [--jobs N]
+        [--executor serial|thread|process|distributed] [--jobs N] \\
+        [--queue DIR]
 """
 
 import argparse
@@ -81,15 +87,30 @@ def main() -> None:
                         default="thread", help="compile_many backend")
     parser.add_argument("--jobs", type=int, default=4,
                         help="parallel workers (default 4)")
+    parser.add_argument("--queue", default=None, metavar="DIR",
+                        help="with --executor distributed: a standing spool "
+                             "directory shared with external "
+                             "'cfdlang-flow worker' processes")
+    parser.add_argument("--external-workers", action="store_true",
+                        help="with --queue: spawn no local workers; the "
+                             "fleet attached to the spool does all the work")
     args = parser.parse_args()
     if args.cache_dir:
         cache = DiskStageCache(args.cache_dir)
-    elif args.executor == "process":
+    elif args.executor in ("process", "distributed"):
         cache = None  # the executor provisions a temporary disk cache
     else:
         cache = StageCache()
+    executor = args.executor
+    if args.executor == "distributed" and args.queue:
+        from repro.flow import DistributedExecutor
+
+        executor = DistributedExecutor(
+            queue_dir=args.queue,
+            spawn_workers=not args.external_workers,
+        )
     trace = FlowTrace()
-    rows = explore(trace, cache, jobs=args.jobs, executor=args.executor)
+    rows = explore(trace, cache, jobs=args.jobs, executor=executor)
     print(
         ascii_table(
             ["extent n", "sharing", "BRAM/kernel", "max k", "BRAM util", "50k elements"],

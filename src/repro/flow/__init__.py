@@ -15,7 +15,10 @@ design-space sweeps reuse the shared front end, and a :class:`FlowTrace`
 recording per-stage timing and cache behavior.  :func:`compile_many`
 batches a whole DSE grid against one shared cache, optionally on a
 thread pool (``jobs=N``) with single-flight deduplication;
-:class:`DiskStageCache` persists the cache across processes.
+:class:`DiskStageCache` persists the cache across processes.  The
+``process`` and ``distributed`` executors (:mod:`repro.flow.executors`,
+:mod:`repro.flow.distributed`) scale the same batch across cores and
+across hosts sharing a spool/cache filesystem.
 """
 
 from repro.flow.options import FlowOptions, SystemOptions
@@ -42,6 +45,13 @@ from repro.flow.executors import (
     executor_names,
     get_executor,
 )
+from repro.flow.distributed import (
+    DistributedExecutor,
+    SpoolTransport,
+    Transport,
+    WorkerCrashError,
+    run_worker,
+)
 from repro.flow.artifacts import write_artifacts
 
 __all__ = [
@@ -63,6 +73,11 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "DistributedExecutor",
+    "Transport",
+    "SpoolTransport",
+    "WorkerCrashError",
+    "run_worker",
     "executor_names",
     "get_executor",
     "Stage",

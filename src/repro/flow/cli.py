@@ -7,6 +7,9 @@
     cfdlang-flow --app helmholtz --sweep 1x1,8x8 --executor process --jobs 4 \\
         --cache-dir .flowcache
     cfdlang-flow --app helmholtz --cache-dir .flowcache --trace
+    cfdlang-flow --app helmholtz --sweep 1x1,8x8 --executor distributed \\
+        --jobs 4 --cache-dir .flowcache
+    cfdlang-flow worker --queue /mnt/spool --cache-dir /mnt/flowcache
     cfdlang-flow cache stats --cache-dir .flowcache
     cfdlang-flow cache gc --cache-dir .flowcache --max-bytes 256M --max-age 7d
 """
@@ -71,7 +74,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution backend for --sweep: 'thread' shares one "
                         "in-process cache (default); 'process' scales "
                         "CPU-bound sweeps across cores through a disk cache; "
+                        "'distributed' spools jobs to worker processes (see "
+                        "the 'worker' subcommand) and scales across hosts; "
                         "'serial' is the in-order reference")
+    p.add_argument("--queue", default=None, metavar="DIR",
+                   help="spool directory for --executor distributed: use a "
+                        "standing queue that external 'cfdlang-flow worker' "
+                        "processes are draining (default: a temporary spool "
+                        "plus --jobs locally spawned workers)")
+    p.add_argument("--external-workers", action="store_true",
+                   help="with --executor distributed: do not spawn local "
+                        "workers; rely entirely on workers already attached "
+                        "to the --queue spool")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persist the stage cache to DIR, reusing artifacts "
                         "across runs (content-addressed pickle store)")
@@ -188,6 +202,51 @@ def build_cache_parser() -> argparse.ArgumentParser:
     return p
 
 
+def build_worker_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cfdlang-flow worker",
+        description="pull and run distributed-sweep jobs from a spool queue "
+                    "(any number of workers, on any hosts sharing the "
+                    "spool/cache filesystem)",
+    )
+    p.add_argument("--queue", required=True, metavar="DIR",
+                   help="the spool directory jobs are enqueued in")
+    p.add_argument("--cache-dir", required=True, metavar="DIR",
+                   help="the shared stage cache directory (artifacts and "
+                        "single-flight locks)")
+    p.add_argument("--poll", type=float, default=0.05, metavar="SECONDS",
+                   help="queue polling interval (default 0.05)")
+    p.add_argument("--heartbeat", type=float, default=1.0, metavar="SECONDS",
+                   help="liveness/lease heartbeat interval (default 1.0)")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="exit after the queue has been empty this long "
+                        "(default: poll forever)")
+    p.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                   help="exit after handling N jobs (default: unlimited)")
+    p.add_argument("--worker-id", default=None, metavar="NAME",
+                   help="override the worker identity used in heartbeats "
+                        "and trace tags (default: <host>-pid<pid>)")
+    return p
+
+
+def _worker_main(argv) -> int:
+    from repro.flow.distributed import run_worker
+
+    args = build_worker_parser().parse_args(argv)
+    handled = run_worker(
+        args.queue,
+        args.cache_dir,
+        poll_seconds=args.poll,
+        heartbeat_seconds=args.heartbeat,
+        idle_timeout=args.idle_timeout,
+        max_jobs=args.max_jobs,
+        worker_id=args.worker_id,
+    )
+    print(f"worker exiting after {handled} job{'s' if handled != 1 else ''}")
+    return 0
+
+
 def _cache_main(argv) -> int:
     import os
 
@@ -210,9 +269,10 @@ def _cache_main(argv) -> int:
             print("error: cache gc needs --max-bytes and/or --max-age",
                   file=sys.stderr)
             return 2
+        locks = cache.sweep_stale_locks()
         removed = cache.gc(args.max_bytes, max_age_seconds=args.max_age)
         s = cache.stats()
-        print(f"gc: removed {removed} entries; "
+        print(f"gc: removed {removed} entries and {locks} stale locks; "
               f"{s['disk_entries']} entries / {s['disk_bytes']} bytes remain")
         return 0
     if args.action == "clear":
@@ -223,11 +283,16 @@ def _cache_main(argv) -> int:
     # verify
     report = cache.verify(fix=args.fix)
     corrupt = report["corrupt"]
+    stale_locks = report["stale_locks"]
     print(f"verify: {report['checked']} entries checked, "
-          f"{len(corrupt)} corrupt, {report['removed']} removed")
+          f"{len(corrupt)} corrupt, {report['removed']} removed; "
+          f"{len(stale_locks)} stale locks, "
+          f"{report['locks_removed']} removed")
     for key in corrupt:
         print(f"  corrupt: {key}")
-    return 1 if corrupt and not args.fix else 0
+    for name in stale_locks:
+        print(f"  stale lock: {name}")
+    return 1 if (corrupt or stale_locks) and not args.fix else 0
 
 
 def _check_front_end_cached(trace: FlowTrace) -> int:
@@ -274,23 +339,36 @@ def _run_sweep(source, options: FlowOptions, args, cache, trace) -> int:
         for k, m in grid
     ]
     tmp_cache_dir = None
-    if (args.executor == "process" and args.expect_front_end_cached
+    multi_process = args.executor in ("process", "distributed")
+    if (multi_process and args.expect_front_end_cached
             and not isinstance(cache, DiskStageCache)):
-        print("error: --expect-front-end-cached with --executor process "
-              "needs --cache-dir: a temporary cache starts cold, so the "
-              "check could never pass", file=sys.stderr)
+        print(f"error: --expect-front-end-cached with --executor "
+              f"{args.executor} needs --cache-dir: a temporary cache starts "
+              "cold, so the check could never pass", file=sys.stderr)
         return 2
-    if args.executor == "process" and not isinstance(cache, DiskStageCache):
+    if multi_process and not isinstance(cache, DiskStageCache):
         # workers share artifacts through disk; without --cache-dir, use a
         # throwaway directory so the stats line still reflects the sweep
         tmp_cache_dir = tempfile.TemporaryDirectory(prefix="cfdlang-flow-cache-")
         cache = DiskStageCache(tmp_cache_dir.name)
-        print("process executor: using a temporary cache directory "
+        print(f"{args.executor} executor: using a temporary cache directory "
               "(pass --cache-dir to persist artifacts across runs)")
+    executor = args.executor
+    if args.executor == "distributed" and (args.queue or args.external_workers):
+        from repro.flow.distributed import DistributedExecutor
+
+        if args.external_workers and not args.queue:
+            print("error: --external-workers needs --queue: external "
+                  "workers must be polling a standing spool", file=sys.stderr)
+            return 2
+        executor = DistributedExecutor(
+            queue_dir=args.queue,
+            spawn_workers=not args.external_workers,
+        )
     try:
         results = compile_many(
             jobs, jobs=args.jobs, cache=cache, trace=trace,
-            return_exceptions=True, executor=args.executor,
+            return_exceptions=True, executor=executor,
         )
         rows = []
         for (k, m), res in zip(grid, results):
@@ -333,6 +411,8 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_stages:
         _print_stages()

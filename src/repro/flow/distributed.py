@@ -1,0 +1,687 @@
+"""Distributed sweep execution: durable spool queue, workers, broker.
+
+The process-pool backend tops out at one host's cores.  This module
+turns ``compile_many`` into a fleet workload: the broker
+(:class:`DistributedExecutor`) serializes each design point as a
+(source text, options spec) message onto a durable work queue, and any
+number of worker processes — spawned locally by the broker, started by
+hand with ``cfdlang-flow worker``, or running on other hosts that share
+the cache/spool filesystem — pull jobs, run them against the shared
+:class:`~repro.flow.store.DiskStageCache` with
+:class:`~repro.flow.store.FileSingleFlight` dedup, and post results
+back.  Results are bit-identical to the serial backend: workers run the
+exact same :class:`~repro.flow.session.Flow` machinery over the exact
+same specs.
+
+The reference transport is a filesystem spool directory
+(:class:`SpoolTransport`), chosen because the flow already assumes a
+shared filesystem for its disk cache; the :class:`Transport` protocol
+keeps the broker and worker loops transport-agnostic so a TCP or Redis
+transport can slot in without touching either.
+
+Crash safety is lease-based.  A claimed job's spool file doubles as its
+lease; the worker heartbeats it (mtime touches from a background
+thread) while the job runs.  The broker requeues any lease that stops
+moving — a killed worker's jobs are re-leased and complete elsewhere —
+with bounded retries so a job that reproducibly kills its worker ends
+as a :class:`WorkerCrashError` in its own slot instead of looping
+forever.  A worker that was merely slow, not dead, may then complete a
+requeued job a second time; results are deterministic and result writes
+are atomic, so the duplicate is byte-identical and harmless.
+
+Spool layout (all writes atomic via tempfile + ``os.replace``; claims
+atomic via ``os.rename``)::
+
+    spool/
+      queue/    <job-id>.json   pending job messages, claimed by rename
+      leases/   <job-id>.json   claimed jobs; mtime is the heartbeat
+      results/  <job-id>.pkl    posted outcomes (FlowResult or exception)
+      workers/  <worker-id>.hb  worker heartbeat files (liveness)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import pickle
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+from typing import Dict, List, Optional, Set
+
+from repro.errors import SystemGenerationError
+from repro.flow.stages import source_fingerprint
+from repro.flow.store import (
+    DEFAULT_LOCK_STALE_SECONDS,
+    CacheBackend,
+    DiskStageCache,
+    FileSingleFlight,
+    Heartbeat,
+    atomic_write_bytes,
+    file_age_seconds,
+)
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+class WorkerCrashError(SystemGenerationError):
+    """A job's workers died (lease expired) more times than the retry
+    budget allows; the job's outcome slot holds this instead of a
+    result."""
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the broker and worker loops require of a work queue.
+
+    Messages are primitives-only dicts (JSON-safe); result payloads are
+    opaque dicts the transport ships by pickle.  ``claim_job`` must hand
+    each pending job to exactly one concurrent claimer and start its
+    lease; ``heartbeat_job`` keeps a claimed job's lease alive;
+    ``expired_leases`` surfaces jobs whose claimer stopped heartbeating
+    so the broker can ``release`` and re-``put_job`` them.
+    """
+
+    def put_job(self, message: Dict[str, object]) -> None: ...
+
+    def claim_job(self) -> Optional[Dict[str, object]]: ...
+
+    def heartbeat_job(self, job_id: str) -> None: ...
+
+    def job_lease_path(self, job_id: str) -> Optional[str]: ...
+
+    def complete(self, job_id: str, payload: Dict[str, object]) -> None: ...
+
+    def take_result(self, job_id: str) -> Optional[Dict[str, object]]: ...
+
+    def expired_leases(self, lease_seconds: float) -> List[str]: ...
+
+    def release(self, job_id: str) -> None: ...
+
+    def cancel_pending(self, job_ids: Set[str]) -> Set[str]: ...
+
+    def batch_done(self, job_id: str) -> bool: ...
+
+    def mark_batch_done(self, batch_id: str) -> None: ...
+
+    def worker_heartbeat_path(self, worker_id: str) -> str: ...
+
+    def alive_workers(self, stale_seconds: float) -> List[str]: ...
+
+
+class SpoolTransport:
+    """The reference :class:`Transport`: a spool directory on a shared
+    filesystem.
+
+    Queue/lease/result files live in sibling subdirectories keyed by job
+    id.  Claiming renames ``queue/<id>.json`` to ``leases/<id>.json`` —
+    rename is atomic and exactly one concurrent claimer wins; the losers
+    see ``FileNotFoundError`` and move on.  The lease file's mtime is
+    the job heartbeat.  Everything else is plain atomic file writes, so
+    brokers and workers on different hosts need nothing but the shared
+    mount.
+    """
+
+    #: tombstones older than this are garbage-collected on the next
+    #: mark_batch_done — far longer than any worker could still be
+    #: mid-job for that batch
+    _TOMBSTONE_TTL_SECONDS = 86400.0
+
+    def __init__(self, spool_dir) -> None:
+        self.spool_dir = pathlib.Path(spool_dir)
+        self.queue_dir = self.spool_dir / "queue"
+        self.lease_dir = self.spool_dir / "leases"
+        self.result_dir = self.spool_dir / "results"
+        self.worker_dir = self.spool_dir / "workers"
+        self.done_dir = self.spool_dir / "done"
+        for sub in (self.queue_dir, self.lease_dir, self.result_dir,
+                    self.worker_dir, self.done_dir):
+            sub.mkdir(parents=True, exist_ok=True)
+
+    # -- job side ------------------------------------------------------------
+    def put_job(self, message: Dict[str, object]) -> None:
+        path = self.queue_dir / (str(message["id"]) + ".json")
+        atomic_write_bytes(path, json.dumps(message).encode())
+
+    def claim_job(self) -> Optional[Dict[str, object]]:
+        for path in sorted(self.queue_dir.glob("*.json")):
+            lease = self.lease_dir / path.name
+            try:
+                os.rename(path, lease)
+            except OSError:
+                continue  # another worker won this job; try the next
+            try:
+                # rename preserved the *enqueue* mtime; the lease clock
+                # starts at the claim, or the job would look instantly
+                # abandoned
+                os.utime(lease)
+            except OSError:
+                pass
+            try:
+                with open(lease) as f:
+                    return json.load(f)
+            except (OSError, ValueError):
+                # enqueue is atomic, so this is outside interference
+                # (manual edit, disk fault).  Leave the lease in place:
+                # it expires unheartbeaten and the broker requeues the
+                # job from its own copy of the message.
+                continue
+        return None
+
+    def heartbeat_job(self, job_id: str) -> None:
+        try:
+            os.utime(self.lease_dir / (job_id + ".json"))
+        except OSError:
+            pass
+
+    def job_lease_path(self, job_id: str) -> Optional[str]:
+        return str(self.lease_dir / (job_id + ".json"))
+
+    def complete(self, job_id: str, payload: Dict[str, object]) -> None:
+        if self.batch_done(job_id):
+            # the broker is gone (batch finished or aborted): posting
+            # would orphan a result pickle in a standing spool forever
+            self.release(job_id)
+            return
+        # result first, then the lease drop: a crash between the two
+        # leaves a result plus a dangling lease, which expired_leases
+        # cleans up without a requeue
+        atomic_write_bytes(
+            self.result_dir / (job_id + ".pkl"),
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        self.release(job_id)
+
+    def take_result(self, job_id: str) -> Optional[Dict[str, object]]:
+        path = self.result_dir / (job_id + ".pkl")
+        try:
+            with open(path, "rb") as f:
+                payload = pickle.load(f)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # result writes are atomic, so an unreadable payload means
+            # outside damage; surface it so the broker can retry the job
+            payload = {"id": job_id, "corrupt": True}
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return payload
+
+    def expired_leases(self, lease_seconds: float) -> List[str]:
+        expired = []
+        for path in sorted(self.lease_dir.glob("*.json")):
+            job_id = path.name[: -len(".json")]
+            if self.batch_done(job_id):
+                # a straggler's recreated lease for a finished batch
+                self.release(job_id)
+                continue
+            if (self.result_dir / (job_id + ".pkl")).exists():
+                # completed but the worker died before dropping the lease
+                self.release(job_id)
+                continue
+            age = file_age_seconds(path)
+            if age is not None and age >= lease_seconds:
+                expired.append(job_id)
+        return expired
+
+    def release(self, job_id: str) -> None:
+        try:
+            (self.lease_dir / (job_id + ".json")).unlink()
+        except OSError:
+            pass
+
+    def cancel_pending(self, job_ids: Set[str]) -> Set[str]:
+        """Remove still-unclaimed jobs from the queue; returns the ids
+        actually cancelled (claimed jobs run to completion)."""
+        cancelled = set()
+        for job_id in job_ids:
+            try:
+                (self.queue_dir / (job_id + ".json")).unlink()
+                cancelled.add(job_id)
+            except OSError:
+                pass
+        return cancelled
+
+    # -- batch tombstones ----------------------------------------------------
+    @staticmethod
+    def _batch_of(job_id: str) -> str:
+        return job_id.rsplit("-", 1)[0]
+
+    def batch_done(self, job_id: str) -> bool:
+        """Whether the batch this job belongs to has been closed out.
+
+        Workers check this before posting a result: once the broker has
+        marked its batch done (normal completion or abort), a straggler
+        result would sit in a standing spool unconsumed forever.
+        """
+        return (self.done_dir / (self._batch_of(job_id) + ".done")).exists()
+
+    def mark_batch_done(self, batch_id: str) -> None:
+        atomic_write_bytes(self.done_dir / (batch_id + ".done"), b"")
+        for path in self.done_dir.glob("*.done"):  # bound the tombstones
+            age = file_age_seconds(path)
+            if age is not None and age >= self._TOMBSTONE_TTL_SECONDS:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # -- worker liveness -----------------------------------------------------
+    def worker_heartbeat_path(self, worker_id: str) -> str:
+        return str(self.worker_dir / (worker_id + ".hb"))
+
+    def alive_workers(self, stale_seconds: float) -> List[str]:
+        alive = []
+        for path in sorted(self.worker_dir.glob("*.hb")):
+            age = file_age_seconds(path)
+            if age is not None and age < stale_seconds:
+                alive.append(path.name[: -len(".hb")])
+        return alive
+
+
+# -- worker ------------------------------------------------------------------
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-pid{os.getpid()}"
+
+
+def run_worker(
+    queue_dir,
+    cache_dir,
+    *,
+    poll_seconds: float = 0.05,
+    heartbeat_seconds: float = 1.0,
+    idle_timeout: Optional[float] = None,
+    max_jobs: Optional[int] = None,
+    worker_id: Optional[str] = None,
+    transport: Optional[Transport] = None,
+) -> int:
+    """Pull and run spooled jobs until told (or timed) out.
+
+    The body of ``cfdlang-flow worker``: claim a job, run it through the
+    standard :class:`~repro.flow.session.Flow` against the shared
+    :class:`DiskStageCache` (with cross-process
+    :class:`FileSingleFlight` dedup, so workers never duplicate stage
+    work), post the result, repeat.  A background :class:`Heartbeat`
+    keeps the worker's liveness file and the running job's lease fresh —
+    if this process dies mid-job, the lease goes stale and the broker
+    requeues the job elsewhere.
+
+    ``idle_timeout`` bounds how long an empty queue is polled before the
+    worker exits (None = poll forever, the long-lived fleet-member
+    mode); ``max_jobs`` exits after that many jobs (handy for tests and
+    drain-then-recycle deployments).  Returns the number of jobs
+    handled.
+    """
+    from repro.flow.executors import maybe_crash_for_test, run_job_spec
+
+    transport = transport if transport is not None else SpoolTransport(queue_dir)
+    worker = worker_id or default_worker_id()
+    cache = DiskStageCache(cache_dir)
+    flight = FileSingleFlight(cache.lock_dir)
+    heartbeat = Heartbeat(heartbeat_seconds).start()
+    heartbeat.add(transport.worker_heartbeat_path(worker))
+    handled = 0
+    idle_since = time.monotonic()
+    try:
+        while True:
+            message = transport.claim_job()
+            if message is None:
+                if max_jobs is not None and handled >= max_jobs:
+                    break
+                if (idle_timeout is not None
+                        and time.monotonic() - idle_since >= idle_timeout):
+                    break
+                time.sleep(poll_seconds)
+                continue
+            idle_since = time.monotonic()
+            job_id = str(message["id"])
+            maybe_crash_for_test(
+                str(message["source"]), int(message.get("attempt", 0))
+            )
+            lease_path = transport.job_lease_path(job_id)
+            if lease_path is not None:
+                heartbeat.add(lease_path)
+            try:
+                outcome, events, deltas = run_job_spec(
+                    (message["source"], message["options"]),
+                    cache,
+                    flight,
+                    worker,
+                )
+            finally:
+                if lease_path is not None:
+                    heartbeat.discard(lease_path)
+            transport.complete(
+                job_id,
+                {
+                    "id": job_id,
+                    "index": message.get("index"),
+                    "attempt": message.get("attempt", 0),
+                    "worker": worker,
+                    "outcome": outcome,
+                    "events": events,
+                    "deltas": deltas,
+                },
+            )
+            handled += 1
+            if max_jobs is not None and handled >= max_jobs:
+                break
+    finally:
+        heartbeat.stop()
+        try:
+            os.unlink(transport.worker_heartbeat_path(worker))
+        except OSError:
+            pass
+    return handled
+
+
+# -- broker ------------------------------------------------------------------
+class DistributedExecutor:
+    """Queue-and-workers backend: sweep throughput bounded by fleet size.
+
+    ``compile_many(..., executor="distributed", jobs=N)`` enqueues every
+    design point on the spool and spawns N local worker processes (the
+    ``cfdlang-flow worker`` subcommand) that drain it — plus any number
+    of externally attached workers, on this host or others sharing the
+    spool/cache filesystem, that happen to be polling the same queue.
+    Pass ``queue_dir`` to use a standing spool (and
+    ``spawn_workers=False`` to rely purely on the external fleet);
+    without it a temporary spool is provisioned and removed afterwards.
+
+    Supervision: the broker polls for results, requeues jobs whose lease
+    stopped heartbeating (a dead worker) up to ``max_attempts`` total
+    attempts, respawns its own crashed workers while work remains, and
+    fails loudly — rather than hanging — if jobs are pending but no
+    worker anywhere has heartbeat for ``worker_grace_seconds``.  Worker
+    traces merge back in point order with the worker's identity tagged
+    in each event origin, and cache counter deltas fold into the shared
+    cache, exactly as the process backend does.
+
+    ``lease_seconds`` must comfortably exceed the workers' heartbeat
+    interval or live jobs get requeued spuriously: spawned workers are
+    configured automatically (a quarter of the lease window), but
+    externally attached workers choose their own ``--heartbeat`` — keep
+    it at most a quarter of every broker's ``lease_seconds``.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        *,
+        queue_dir=None,
+        spawn_workers: bool = True,
+        lease_seconds: float = 30.0,
+        poll_seconds: float = 0.05,
+        max_attempts: int = 3,
+        worker_grace_seconds: float = DEFAULT_LOCK_STALE_SECONDS,
+        worker_idle_timeout: float = 300.0,
+    ) -> None:
+        self.queue_dir = queue_dir
+        self.spawn_workers = spawn_workers
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+        self.max_attempts = max_attempts
+        self.worker_grace_seconds = worker_grace_seconds
+        self.worker_idle_timeout = worker_idle_timeout
+        self._tmp_cache_dir: Optional[str] = None
+        self._tmp_spool_dir: Optional[str] = None
+        self._procs: List[subprocess.Popen] = []
+
+    # -- Executor protocol ---------------------------------------------------
+    def prepare_cache(self, cache: Optional[CacheBackend]) -> CacheBackend:
+        if cache is None:
+            self._tmp_cache_dir = tempfile.mkdtemp(prefix="cfdlang-flow-cache-")
+            return DiskStageCache(self._tmp_cache_dir)
+        if not isinstance(cache, DiskStageCache):
+            raise TypeError(
+                "executor 'distributed' shares artifacts between workers "
+                "through a DiskStageCache on a shared filesystem; pass "
+                "cache=DiskStageCache(dir) or cache=None for a temporary "
+                f"one, not {type(cache).__name__}"
+            )
+        return cache
+
+    def run(self, context) -> List[object]:
+        cache = context.cache
+        assert isinstance(cache, DiskStageCache)  # prepare_cache guarantees
+        outcomes: List[object] = [None] * len(context.jobs)
+        if not context.jobs:
+            return outcomes
+        spool = self.queue_dir
+        if spool is None:
+            self._tmp_spool_dir = tempfile.mkdtemp(prefix="cfdlang-flow-spool-")
+            spool = self._tmp_spool_dir
+        transport = SpoolTransport(spool)
+        batch = uuid.uuid4().hex[:12]
+        messages: Dict[str, Dict[str, object]] = {}
+        for i, (source, options) in enumerate(context.jobs):
+            job_id = f"{batch}-{i:05d}"
+            messages[job_id] = {
+                "id": job_id,
+                "index": i,
+                "source": source_fingerprint(source),
+                "options": None if options is None else options.to_spec(),
+                "attempt": 0,
+            }
+        for message in messages.values():
+            transport.put_job(message)
+        if self.spawn_workers:
+            n = min(max(1, context.workers), len(messages))
+            for _ in range(n):
+                self._spawn_worker(spool, cache)
+        try:
+            events_by_point = self._supervise(
+                context, transport, messages, outcomes
+            )
+        finally:
+            self._reap_workers()
+            # close the batch out, success or not.  The tombstone stops
+            # in-flight straggler workers from posting results nobody
+            # will consume; the scrub removes what is already there:
+            # unclaimed jobs of an aborted sweep (which a worker
+            # attaching to a standing queue later would execute) and
+            # duplicate results of re-leased jobs that completed twice.
+            transport.mark_batch_done(batch)
+            transport.cancel_pending(set(messages))
+            for job_id in messages:
+                transport.take_result(job_id)
+                transport.release(job_id)
+        # point-order merge: deterministic --trace output, same as the
+        # process backend
+        if context.trace is not None:
+            for i in sorted(events_by_point):
+                for stage, seconds, cached, origin in events_by_point[i]:
+                    context.trace.record(stage, seconds, cached, origin)
+        return outcomes
+
+    def cleanup(self) -> None:
+        self._reap_workers()
+        if self._tmp_spool_dir is not None:
+            shutil.rmtree(self._tmp_spool_dir, ignore_errors=True)
+            self._tmp_spool_dir = None
+        if self._tmp_cache_dir is not None:
+            shutil.rmtree(self._tmp_cache_dir, ignore_errors=True)
+            self._tmp_cache_dir = None
+
+    # -- worker lifecycle ----------------------------------------------------
+    def _spawn_worker(self, spool, cache: DiskStageCache) -> None:
+        env = dict(os.environ)
+        # workers must import this package even when it is not installed
+        # (tests run from a source tree via PYTHONPATH)
+        pkg_root = str(pathlib.Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (pkg_root, env.get("PYTHONPATH")) if p
+        )
+        log_path = (
+            pathlib.Path(spool) / "workers" / f"worker-{len(self._procs)}.log"
+        )
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        # a lease only stays alive if it is touched faster than the broker
+        # expires it: heartbeat at a quarter of the lease window, so a
+        # short-lease configuration cannot spuriously requeue live jobs
+        heartbeat = min(1.0, max(0.05, self.lease_seconds / 4.0))
+        with open(log_path, "ab") as log:
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.flow.cli",
+                    "worker",
+                    "--queue", str(spool),
+                    "--cache-dir", str(cache.cache_dir),
+                    "--idle-timeout", str(self.worker_idle_timeout),
+                    "--poll", str(self.poll_seconds),
+                    "--heartbeat", str(heartbeat),
+                ],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+        self._procs.append(proc)
+
+    def _respawn_dead_workers(self, spool, cache: DiskStageCache,
+                              budget: List[int]) -> None:
+        for proc in list(self._procs):
+            if proc.poll() is None:
+                continue
+            self._procs.remove(proc)
+            if budget[0] > 0:
+                budget[0] -= 1
+                self._spawn_worker(spool, cache)
+
+    def _reap_workers(self) -> None:
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+        self._procs = []
+
+    # -- supervision loop ----------------------------------------------------
+    def _supervise(
+        self,
+        context,
+        transport: Transport,
+        messages: Dict[str, Dict[str, object]],
+        outcomes: List[object],
+    ) -> Dict[int, list]:
+        cache = context.cache
+        pending: Set[str] = set(messages)
+        events_by_point: Dict[int, list] = {}
+        # respawn budget: tolerate as many worker deaths as the per-job
+        # retry budget allows across the whole batch, with a floor so a
+        # single flaky worker can't exhaust it instantly
+        budget = [max(2 * len(self._procs), self.max_attempts) + 2]
+        spool = transport.spool_dir if isinstance(transport, SpoolTransport) else None
+        failed = False
+        last_progress = time.monotonic()
+
+        def abort_pending() -> None:
+            """First failure under fail_fast: stop starting points."""
+            nonlocal failed
+            failed = True
+            cancelled = transport.cancel_pending(set(pending))
+            pending.difference_update(cancelled)  # their slots stay None
+
+        def retry_or_give_up(job_id: str) -> None:
+            """One attempt burned (dead worker / damaged result).
+
+            Worker death is infrastructure churn, not a point failure,
+            so the job is requeued even under fail_fast — until the
+            retry budget is spent, at which point it *becomes* the
+            point's failure (WorkerCrashError).  But once any point has
+            failed under fail_fast, nothing new may start: the crashed
+            job is abandoned and its slot stays None.
+            """
+            message = messages[job_id]
+            message["attempt"] = int(message["attempt"]) + 1
+            transport.release(job_id)
+            if context.fail_fast and failed:
+                pending.discard(job_id)  # aborting: never re-started
+            elif int(message["attempt"]) >= self.max_attempts:
+                outcomes[message["index"]] = WorkerCrashError(
+                    f"job {job_id} lost its worker {self.max_attempts} "
+                    f"times (lease expired after {self.lease_seconds:.1f}s "
+                    "each); giving up"
+                )
+                pending.discard(job_id)
+                if context.fail_fast:
+                    abort_pending()
+            else:
+                transport.put_job(message)
+
+        while pending:
+            progressed = False
+            for job_id in sorted(pending):
+                payload = transport.take_result(job_id)
+                if payload is None:
+                    continue
+                progressed = True
+                if payload.get("corrupt"):
+                    retry_or_give_up(job_id)
+                    continue
+                pending.discard(job_id)
+                index = messages[job_id]["index"]
+                outcomes[index] = payload["outcome"]
+                events_by_point[index] = payload.get("events", [])
+                deltas = payload.get("deltas")
+                if deltas:
+                    cache.merge_stats(deltas)
+                if (
+                    context.fail_fast
+                    and not failed
+                    and isinstance(payload["outcome"], BaseException)
+                ):
+                    abort_pending()
+            for job_id in transport.expired_leases(self.lease_seconds):
+                if job_id in messages and job_id not in pending:
+                    # ours, already resolved: a straggler worker's
+                    # recreated lease — reclaim the spool space
+                    transport.release(job_id)
+                    continue
+                if job_id not in pending:
+                    continue  # another broker's job
+                progressed = True
+                retry_or_give_up(job_id)
+            if pending and self.spawn_workers and spool is not None:
+                self._respawn_dead_workers(spool, cache, budget)
+            now = time.monotonic()
+            if progressed:
+                last_progress = now
+            elif pending:
+                spawned_alive = any(p.poll() is None for p in self._procs)
+                external_alive = bool(
+                    transport.alive_workers(self.worker_grace_seconds)
+                )
+                if (
+                    not spawned_alive
+                    and not external_alive
+                    and now - last_progress >= self.worker_grace_seconds
+                ):
+                    raise SystemGenerationError(
+                        f"distributed sweep stalled: {len(pending)} job(s) "
+                        "pending but no worker has heartbeat for "
+                        f"{self.worker_grace_seconds:.1f}s — start workers "
+                        "with 'cfdlang-flow worker --queue DIR --cache-dir "
+                        "DIR' or use spawn_workers=True"
+                    )
+                time.sleep(self.poll_seconds)
+        return events_by_point

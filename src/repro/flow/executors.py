@@ -1,4 +1,5 @@
-"""Execution backends for ``compile_many``: serial, thread, process.
+"""Execution backends for ``compile_many``: serial, thread, process,
+distributed.
 
 A batch of design points is embarrassingly parallel *between* points but
 shares work *across* them (the front end of a k x m sweep is identical
@@ -20,6 +21,10 @@ for every point), so the right backend depends on where the time goes:
   directory preserve the single-flight "compute each stage once"
   guarantee between address spaces.  This is the backend that makes
   core count, not stage count, the limit on CPU-bound sweep throughput.
+* ``distributed`` — :mod:`repro.flow.distributed`: the same job specs,
+  spooled through a durable work queue instead of a pool, so workers on
+  *any* host sharing the cache/spool filesystem can pull them.  This is
+  the backend that makes fleet size, not core count, the limit.
 
 Backends implement the :class:`Executor` protocol and register under a
 name; ``compile_many(..., executor="process")`` or the CLI's
@@ -31,9 +36,16 @@ counters, so a sweep reads the same regardless of backend.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import shutil
 import tempfile
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+import threading
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -67,9 +79,12 @@ class ExecutorContext:
     """Everything a backend needs to run one batch.
 
     ``outcomes`` slots are :class:`~repro.flow.pipeline.FlowResult` or
-    the exception the point raised; ``fail_fast`` lets the serial
-    backend stop at the first failure (the others always complete the
-    batch and let the caller decide).
+    the exception the point raised.  ``fail_fast`` is the shared
+    early-exit contract: once any point has failed, a backend stops
+    *starting* points — already-running ones finish (and their outcomes
+    are recorded), never-started ones keep their ``None`` slot.  With
+    ``fail_fast=False`` every point runs to completion regardless of
+    failures.
     """
 
     jobs: Sequence[Job]
@@ -77,6 +92,27 @@ class ExecutorContext:
     cache: CacheBackend
     trace: Optional[FlowTrace]
     fail_fast: bool = False
+
+
+#: test-only fault injection for the multi-process backends: when this
+#: environment variable holds a non-empty marker that occurs in a job's
+#: source text, the worker about to run that job hard-exits instead —
+#: how the test suite simulates a worker killed mid-task (OOM, SIGKILL)
+#: without racing real signals.  Unset in production; never set it
+#: outside a test.
+FAULT_MARKER_ENV = "CFDLANG_FLOW_TEST_FAULT"
+
+
+def maybe_crash_for_test(source_text: str, attempt: int = 0) -> None:
+    """Hard-exit the current process if the fault marker matches.
+
+    ``attempt`` lets retry paths inject a crash-once fault: the marker
+    only fires on a job's first attempt, so a requeued job succeeds and
+    the test can assert recovery rather than mere error capture.
+    """
+    marker = os.environ.get(FAULT_MARKER_ENV)
+    if marker and attempt == 0 and marker in source_text:
+        os._exit(3)
 
 
 @runtime_checkable
@@ -134,8 +170,11 @@ class ThreadExecutor:
             return SerialExecutor().run(context)
         flight = SingleFlight()
         outcomes: List[object] = [None] * len(context.jobs)
+        failed = threading.Event()
 
         def run_one(i: int) -> None:
+            if context.fail_fast and failed.is_set():
+                return  # slot stays None: never started after a failure
             source, options = context.jobs[i]
             try:
                 outcomes[i] = Flow(
@@ -147,6 +186,7 @@ class ThreadExecutor:
                 ).run()
             except Exception as exc:  # noqa: BLE001 — captured per job
                 outcomes[i] = exc
+                failed.set()
 
         with ThreadPoolExecutor(max_workers=context.workers) as pool:
             list(pool.map(run_one, range(len(context.jobs))))
@@ -179,18 +219,21 @@ def _process_worker_init(
     _WORKER_STATE["flight"] = FileSingleFlight(cache.lock_dir)
 
 
-def _process_worker_run(spec):
-    """Run one design point from its picklable spec inside a worker.
+def run_job_spec(spec, cache: DiskStageCache, flight, worker_tag: str):
+    """Run one design point from its picklable spec against shared state.
 
-    Returns ``(outcome, trace events, cache counter deltas)`` — outcome
+    The common worker body of the process-pool and distributed backends:
+    returns ``(outcome, trace events, cache counter deltas)`` — outcome
     is the FlowResult or the exception the point raised, both shipped
-    back by value.
+    back by value.  Trace events carry ``worker_tag`` after an ``@`` in
+    their origin so a merged sweep trace records which worker served
+    each stage (:func:`repro.flow.session.origin_kind` strips the tag
+    for aggregation).
     """
     source_text, options_spec = spec
     options = (
         None if options_spec is None else FlowOptions.from_spec(options_spec)
     )
-    cache: DiskStageCache = _WORKER_STATE["cache"]  # type: ignore[assignment]
     before = cache.counters()
     trace = FlowTrace()
     try:
@@ -199,14 +242,28 @@ def _process_worker_run(spec):
             options,
             cache=cache,
             trace=trace,
-            flight=_WORKER_STATE["flight"],
+            flight=flight,
         ).run()
     except Exception as exc:  # noqa: BLE001 — captured per job
         outcome = exc
     after = cache.counters()
     deltas = {k: after[k] - before[k] for k in _COUNTER_KEYS}
-    events = [(e.stage, e.seconds, e.cached, e.origin) for e in trace.events]
+    events = [
+        (e.stage, e.seconds, e.cached, f"{e.origin}@{worker_tag}")
+        for e in trace.events
+    ]
     return outcome, events, deltas
+
+
+def _process_worker_run(spec):
+    """Pool-worker entry: run the spec against this process's shared state."""
+    maybe_crash_for_test(spec[0])
+    return run_job_spec(
+        spec,
+        _WORKER_STATE["cache"],  # type: ignore[arg-type]
+        _WORKER_STATE["flight"],
+        f"pid{os.getpid()}",
+    )
 
 
 class ProcessExecutor:
@@ -221,6 +278,18 @@ class ProcessExecutor:
     thread state (fork + threads is unsound, and fork is disappearing as
     a default); workers re-import this module, so everything they need
     travels as picklable data.
+
+    Failure paths: a per-job exception travels back *by value* and lands
+    in that point's outcome slot.  A worker that dies outright (OOM
+    kill, segfault, signal) breaks the whole stdlib pool — every future
+    still pending raises :class:`BrokenProcessPool`, innocent or not —
+    so each casualty is then retried once in its *own* single-worker
+    pool: the poison job can only break itself, and innocent points
+    complete from the warm disk cache.  A job that reproducibly kills
+    its worker ends with the pool-breakage exception in its own slot.
+    Either way the sweep finishes, and traces/cache counters for every
+    completed point merge back in point order, so ``--trace`` output is
+    deterministic across identical runs.
     """
 
     name = "process"
@@ -254,7 +323,47 @@ class ProcessExecutor:
         outcomes: List[object] = [None] * len(specs)
         if not specs:
             return outcomes
-        workers = min(max(1, context.workers), len(specs))
+        events_by_point: Dict[int, list] = {}
+        broken = self._run_round(
+            context, cache, specs, list(range(len(specs))), outcomes,
+            events_by_point,
+        )
+        # only pool-breakage casualties are retried: per-job errors came
+        # back by value and are final.  Isolating each casualty in its
+        # own pool keeps a reproducible crasher from taking innocents
+        # down again on the retry.  fail_fast means the caller wants out
+        # at the first failure, so no retry there.
+        if broken and not context.fail_fast:
+            for i in broken:
+                self._run_round(
+                    context, cache, specs, [i], outcomes, events_by_point
+                )
+        # merge in point order (as_completed order varies run to run), so
+        # identical sweeps produce identical --trace output
+        if context.trace is not None:
+            for i in sorted(events_by_point):
+                for stage, seconds, cached, origin in events_by_point[i]:
+                    context.trace.record(stage, seconds, cached, origin)
+        return outcomes
+
+    def _run_round(
+        self,
+        context: ExecutorContext,
+        cache: DiskStageCache,
+        specs,
+        indices: List[int],
+        outcomes: List[object],
+        events_by_point: Dict[int, list],
+    ) -> List[int]:
+        """One pool pass over ``indices``; returns pool-breakage casualties.
+
+        Every future is drained behind a try/except: a worker killed
+        mid-task must cost *its* point an exception slot, not abort the
+        loop and abandon every other point's outcome.
+        """
+        broken: List[int] = []
+        workers = min(max(1, context.workers), len(indices))
+        failed = False
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=multiprocessing.get_context("spawn"),
@@ -262,18 +371,35 @@ class ProcessExecutor:
             initargs=(str(cache.cache_dir), cache.max_bytes, cache.max_age_seconds),
         ) as pool:
             futures = {
-                pool.submit(_process_worker_run, spec): i
-                for i, spec in enumerate(specs)
+                pool.submit(_process_worker_run, specs[i]): i for i in indices
             }
             for future in as_completed(futures):
                 i = futures[future]
-                outcome, events, deltas = future.result()
-                outcomes[i] = outcome
-                cache.merge_stats(deltas)
-                if context.trace is not None:
-                    for stage, seconds, cached, origin in events:
-                        context.trace.record(stage, seconds, cached, origin)
-        return outcomes
+                try:
+                    outcome, events, deltas = future.result()
+                except CancelledError:
+                    continue  # fail_fast cancelled it: never started
+                except Exception as exc:  # noqa: BLE001 — BrokenProcessPool &c.
+                    if context.fail_fast and failed:
+                        # collateral of the abort (a broken pool fails
+                        # every pending future): these points never ran,
+                        # so they keep their None slot per the contract
+                        continue
+                    outcomes[i] = exc
+                    broken.append(i)
+                else:
+                    outcomes[i] = outcome
+                    events_by_point[i] = events
+                    cache.merge_stats(deltas)
+                if (
+                    context.fail_fast
+                    and not failed
+                    and isinstance(outcomes[i], BaseException)
+                ):
+                    failed = True
+                    for other in futures:
+                        other.cancel()
+        return broken
 
     def cleanup(self) -> None:
         if self._tmp_dir is not None:
@@ -281,10 +407,19 @@ class ProcessExecutor:
             self._tmp_dir = None
 
 
+def _distributed_factory():
+    # imported on demand: repro.flow.distributed uses this module's
+    # run_job_spec, so a top-level import here would be circular
+    from repro.flow.distributed import DistributedExecutor
+
+    return DistributedExecutor()
+
+
 _EXECUTORS = {
     SerialExecutor.name: SerialExecutor,
     ThreadExecutor.name: ThreadExecutor,
     ProcessExecutor.name: ProcessExecutor,
+    "distributed": _distributed_factory,
 }
 
 DEFAULT_EXECUTOR = ThreadExecutor.name

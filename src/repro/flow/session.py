@@ -49,13 +49,22 @@ class StageEvent:
     """One stage execution (or cache hit) observed by a trace.
 
     ``origin`` says where a hit came from: ``"memory"`` or ``"disk"``
-    (empty for stages that actually ran).
+    (empty for stages that actually ran).  Events merged back from a
+    process-pool or distributed worker carry the worker's identity after
+    an ``@`` (``"disk@pid1234"``); :func:`origin_kind` strips the tag.
     """
 
     stage: str
     seconds: float
     cached: bool
     origin: str = ""
+
+
+def origin_kind(origin: str) -> str:
+    """The cache tier of an event origin — ``"memory"``, ``"disk"``, or
+    ``""`` (executed) — with any ``@worker`` tag from a parallel backend
+    stripped."""
+    return origin.split("@", 1)[0]
 
 
 class FlowTrace:
@@ -99,10 +108,11 @@ class FlowTrace:
         return out
 
     def cached_counts_by_origin(self, origin: str) -> Dict[str, int]:
-        """Cache hits per stage that came from ``origin`` (memory/disk)."""
+        """Cache hits per stage that came from ``origin`` (memory/disk);
+        worker tags (``"disk@pid1234"``) are ignored for the match."""
         out: Dict[str, int] = {}
         for e in self.events:
-            if e.cached and e.origin == origin:
+            if e.cached and origin_kind(e.origin) == origin:
                 out[e.stage] = out.get(e.stage, 0) + 1
         return out
 
@@ -435,14 +445,19 @@ def compile_many(
     against the lock-protected shared cache with single-flight keying;
     ``"process"`` runs them on a process pool for CPU-bound sweeps,
     sharing artifacts through a :class:`DiskStageCache` (a temporary one
-    if ``cache`` is None) with lock-file single flight; ``"serial"``
-    forces the in-order reference semantics.  Every backend computes each
-    needed stage exactly once and produces results identical to the
-    sequential run.
+    if ``cache`` is None) with lock-file single flight; ``"distributed"``
+    (:mod:`repro.flow.distributed`) spools job specs to worker processes
+    — local ones it spawns, or any number attached from other hosts
+    sharing the cache/spool filesystem; ``"serial"`` forces the in-order
+    reference semantics.  Every backend computes each needed stage
+    exactly once and produces results identical to the sequential run.
 
-    Errors are captured per point: with ``return_exceptions=True`` the
-    failing point's slot holds the exception (other points still
-    complete); otherwise the first failure (in point order) is raised.
+    Errors are captured per point: with ``return_exceptions=True`` every
+    point runs to completion and a failing point's slot holds its
+    exception.  Otherwise the backend stops scheduling new points after
+    the first failure (points already running still finish; points never
+    started are abandoned) and the first failure in point order is
+    raised.
 
     When the cache carries a gc policy (``DiskStageCache(max_bytes=...,
     max_age_seconds=...)``), it is enforced once the batch completes, so

@@ -47,6 +47,109 @@ except ImportError:  # pragma: no cover
 #: outputs of one stage, as stored/returned by a backend
 Entry = Dict[str, object]
 
+#: how long an untouched lock / lease / heartbeat file may sit before it
+#: counts as abandoned by a dead process — shared by
+#: :class:`FileSingleFlight`, the cache lifecycle commands, and the
+#: distributed executor's spool supervision
+DEFAULT_LOCK_STALE_SECONDS = 60.0
+
+
+def file_age_seconds(path) -> Optional[float]:
+    """Seconds since ``path`` was last touched, or None if it is gone.
+
+    The staleness primitive behind every crash-detection decision in the
+    flow: single-flight lock theft, spool lease expiry, and worker
+    heartbeat liveness all compare this against a stale threshold.
+    """
+    try:
+        return max(0.0, time.time() - os.stat(path).st_mtime)
+    except OSError:
+        return None
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` with no torn-read window.
+
+    The shared durability primitive of the disk cache and the spool
+    transport: a tempfile in the target directory plus ``os.replace``,
+    so concurrent readers on any host of a shared filesystem see either
+    the old content or the new, never a partial write.
+    """
+    path = pathlib.Path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=path.suffix + ".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def touch_file(path) -> None:
+    """Refresh ``path``'s mtime (creating it if needed), ignoring races."""
+    try:
+        os.utime(path)
+    except FileNotFoundError:
+        try:
+            with open(path, "a"):
+                pass
+        except OSError:
+            pass
+    except OSError:
+        pass
+
+
+class Heartbeat:
+    """Background thread that keeps a set of files' mtimes fresh.
+
+    Liveness in the distributed executor is mtime-based: a worker's
+    heartbeat file and its current job's lease file must keep moving or
+    the broker declares the worker dead and requeues the job.  A worker
+    spends its time inside long single-threaded stage computations, so
+    the touching has to happen off-thread — ``add`` the lease when a job
+    starts, ``discard`` it when the job ends, ``stop`` on shutdown.
+    """
+
+    def __init__(self, interval_seconds: float = 1.0) -> None:
+        self.interval_seconds = interval_seconds
+        self._paths: set = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def add(self, path) -> None:
+        with self._lock:
+            self._paths.add(str(path))
+        touch_file(str(path))
+
+    def discard(self, path) -> None:
+        with self._lock:
+            self._paths.discard(str(path))
+
+    def start(self) -> "Heartbeat":
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._run, daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            with self._lock:
+                paths = list(self._paths)
+            for path in paths:
+                touch_file(path)
+
+
 #: a cache hit: the entry plus where it came from ("memory" or "disk")
 Hit = Tuple[Entry, str]
 
@@ -269,21 +372,9 @@ class DiskStageCache:
                 old_size = os.path.getsize(path)  # overwriting an entry
             except OSError:
                 pass
-            fd, tmp = tempfile.mkstemp(
-                dir=str(path.parent), suffix=self._SUFFIX + ".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as f:
-                    pickle.dump(outputs, f, protocol=pickle.HIGHEST_PROTOCOL)
-                new_size = os.path.getsize(tmp)
-                os.replace(tmp, path)
-                written = new_size - old_size  # only after the file landed
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            data = pickle.dumps(outputs, protocol=pickle.HIGHEST_PROTOCOL)
+            atomic_write_bytes(path, data)
+            written = len(data) - old_size  # only after the file landed
         except Exception:
             with self._lock:
                 self.put_errors += 1
@@ -306,6 +397,11 @@ class DiskStageCache:
                 path.unlink()
             except OSError:
                 pass
+        # a full reset also drops single-flight locks: an abandoned leader
+        # lock would otherwise stall the next sweep's first touch of that
+        # key for the whole stale window (a live leader losing its lock
+        # merely risks duplicated work — the cache write stays atomic)
+        self.sweep_stale_locks(stale_seconds=0.0)
 
     def counters(self) -> Dict[str, int]:
         """The hit/miss counters alone — no directory walk.
@@ -383,6 +479,35 @@ class DiskStageCache:
             removed += 1
         with self._lock:
             self._disk_bytes_estimate = total  # resync after the real scan
+        self.sweep_stale_locks()
+        return removed
+
+    def _lock_files(self):
+        return self.lock_dir.glob("*" + FileSingleFlight._SUFFIX)
+
+    def sweep_stale_locks(
+        self, stale_seconds: float = DEFAULT_LOCK_STALE_SECONDS
+    ) -> int:
+        """Remove single-flight lock files untouched for ``stale_seconds``.
+
+        Crashed leaders leave their ``.lock`` files behind; until someone
+        touches the same stage key (and eats the stale-wait), they are
+        invisible garbage that ``clear``/``gc`` used to skip.  Returns the
+        number of locks removed; fresh locks (a live leader mid-stage)
+        are left alone unless ``stale_seconds`` is 0.
+        """
+        removed = 0
+        if not self.lock_dir.is_dir():
+            return 0
+        for path in list(self._lock_files()):
+            age = file_age_seconds(path)
+            if age is None or age < stale_seconds:
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
         return removed
 
     def apply_gc_policy(self) -> int:
@@ -399,10 +524,13 @@ class DiskStageCache:
     def verify(self, *, fix: bool = False) -> Dict[str, object]:
         """Scan every disk entry and report the ones that fail to load.
 
-        Returns ``{"checked": n, "corrupt": [keys...], "removed": n}``.
-        With ``fix=True`` corrupt files are deleted (they would be
-        treated as misses and overwritten on next access anyway; fixing
-        merely reclaims the space eagerly).
+        Returns ``{"checked": n, "corrupt": [keys...], "removed": n,
+        "stale_locks": [names...], "locks_removed": n}``.  With
+        ``fix=True`` corrupt files are deleted (they would be treated as
+        misses and overwritten on next access anyway; fixing merely
+        reclaims the space eagerly) and stale single-flight locks are
+        swept (they would otherwise stall the next touch of their key
+        for the whole stale window).
         """
         checked = 0
         corrupt: List[str] = []
@@ -422,7 +550,20 @@ class DiskStageCache:
                         removed += 1
                     except OSError:
                         pass
-        return {"checked": checked, "corrupt": corrupt, "removed": removed}
+        stale_locks: List[str] = []
+        if self.lock_dir.is_dir():
+            for path in sorted(self._lock_files()):
+                age = file_age_seconds(path)
+                if age is not None and age >= DEFAULT_LOCK_STALE_SECONDS:
+                    stale_locks.append(path.name)
+        locks_removed = self.sweep_stale_locks() if fix else 0
+        return {
+            "checked": checked,
+            "corrupt": corrupt,
+            "removed": removed,
+            "stale_locks": stale_locks,
+            "locks_removed": locks_removed,
+        }
 
     def merge_stats(self, stats: Mapping[str, int]) -> None:
         """Fold another instance's counter deltas into this one.
@@ -507,7 +648,7 @@ class FileSingleFlight:
         self,
         lock_dir,
         *,
-        stale_seconds: float = 60.0,
+        stale_seconds: float = DEFAULT_LOCK_STALE_SECONDS,
         poll_seconds: float = 0.01,
     ) -> None:
         self.lock_dir = pathlib.Path(lock_dir)
@@ -519,10 +660,9 @@ class FileSingleFlight:
         return self.lock_dir / (key + self._SUFFIX)
 
     def _is_stale(self, path: pathlib.Path) -> bool:
-        try:
-            return time.time() - path.stat().st_mtime >= self.stale_seconds
-        except OSError:
-            return False  # released while we looked: not ours to steal
+        age = file_age_seconds(path)
+        # age None: released while we looked — not ours to steal
+        return age is not None and age >= self.stale_seconds
 
     def begin(self, key: str) -> bool:
         path = self._path(key)

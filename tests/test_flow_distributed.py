@@ -1,0 +1,365 @@
+"""Distributed executor: spool transport semantics, worker loop, broker
+supervision (lease expiry, requeue, retries, stall detection), and
+serial-equivalence of fleet-run sweeps."""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.apps.helmholtz import HELMHOLTZ_DSL, inverse_helmholtz_program
+from repro.errors import SystemGenerationError
+from repro.flow import (
+    DiskStageCache,
+    FlowOptions,
+    FlowTrace,
+    StageCache,
+    SystemOptions,
+    compile_many,
+)
+from repro.flow.distributed import (
+    DistributedExecutor,
+    SpoolTransport,
+    Transport,
+    WorkerCrashError,
+    run_worker,
+)
+from repro.mnemosyne import SharingMode
+
+
+def message(job_id, index=0, source=HELMHOLTZ_DSL, options=None, attempt=0):
+    return {
+        "id": job_id,
+        "index": index,
+        "source": source,
+        "options": options,
+        "attempt": attempt,
+    }
+
+
+class TestSpoolTransport:
+    def test_put_claim_complete_roundtrip(self, tmp_path):
+        t = SpoolTransport(tmp_path)
+        t.put_job(message("j1", index=7))
+        claimed = t.claim_job()
+        assert claimed["id"] == "j1" and claimed["index"] == 7
+        assert t.claim_job() is None  # leased, not re-claimable
+        t.complete("j1", {"id": "j1", "outcome": 42})
+        assert t.take_result("j1")["outcome"] == 42
+        assert t.take_result("j1") is None  # consumed
+        assert t.expired_leases(0.0) == []  # lease dropped on complete
+
+    def test_claim_is_exclusive_across_instances(self, tmp_path):
+        a, b = SpoolTransport(tmp_path), SpoolTransport(tmp_path)
+        a.put_job(message("j1"))
+        first, second = a.claim_job(), b.claim_job()
+        assert (first is None) != (second is None)
+
+    def test_claim_restarts_the_lease_clock(self, tmp_path):
+        t = SpoolTransport(tmp_path)
+        t.put_job(message("j1"))
+        # the job sat in the queue "for a long time" before the claim
+        stale = time.time() - 3600
+        os.utime(t.queue_dir / "j1.json", (stale, stale))
+        assert t.claim_job() is not None
+        # the lease must be fresh, or the broker would requeue instantly
+        assert t.expired_leases(60.0) == []
+
+    def test_expired_lease_detection_and_heartbeat(self, tmp_path):
+        t = SpoolTransport(tmp_path)
+        t.put_job(message("j1"))
+        t.claim_job()
+        stale = time.time() - 3600
+        os.utime(t.lease_dir / "j1.json", (stale, stale))
+        assert t.expired_leases(1.0) == ["j1"]
+        t.heartbeat_job("j1")  # a live worker touched the lease
+        assert t.expired_leases(1.0) == []
+
+    def test_completed_job_with_dangling_lease_is_not_requeued(self, tmp_path):
+        from repro.flow.store import atomic_write_bytes
+
+        # worker crashed between posting the result and dropping the lease
+        t = SpoolTransport(tmp_path)
+        t.put_job(message("j1"))
+        t.claim_job()
+        atomic_write_bytes(t.result_dir / "j1.pkl",
+                           pickle.dumps({"id": "j1", "outcome": 1}))
+        stale = time.time() - 3600
+        os.utime(t.lease_dir / "j1.json", (stale, stale))
+        assert t.expired_leases(1.0) == []  # cleaned up, not expired
+        assert not (t.lease_dir / "j1.json").exists()
+        assert t.take_result("j1")["outcome"] == 1
+
+    def test_cancel_pending_skips_claimed_jobs(self, tmp_path):
+        t = SpoolTransport(tmp_path)
+        t.put_job(message("j1"))
+        t.put_job(message("j2", index=1))
+        t.claim_job()  # j1 leased
+        assert t.cancel_pending({"j1", "j2"}) == {"j2"}
+
+    def test_corrupt_result_surfaces_for_retry(self, tmp_path):
+        t = SpoolTransport(tmp_path)
+        (t.result_dir / "j1.pkl").write_bytes(b"not a pickle")
+        payload = t.take_result("j1")
+        assert payload["corrupt"]
+        assert not (t.result_dir / "j1.pkl").exists()
+
+    def test_worker_heartbeat_liveness(self, tmp_path):
+        t = SpoolTransport(tmp_path)
+        assert t.alive_workers(60.0) == []
+        path = t.worker_heartbeat_path("w1")
+        with open(path, "w"):
+            pass
+        assert t.alive_workers(60.0) == ["w1"]
+        stale = time.time() - 3600
+        os.utime(path, (stale, stale))
+        assert t.alive_workers(60.0) == []
+
+    def test_satisfies_transport_protocol(self, tmp_path):
+        assert isinstance(SpoolTransport(tmp_path), Transport)
+
+    def test_batch_tombstone_blocks_straggler_results(self, tmp_path):
+        """A worker finishing after its batch closed must not orphan a
+        result pickle in a standing spool."""
+        t = SpoolTransport(tmp_path)
+        t.put_job(message("batchA-00000"))
+        t.claim_job()
+        t.mark_batch_done("batchA")
+        t.complete("batchA-00000", {"id": "batchA-00000", "outcome": 1})
+        assert t.take_result("batchA-00000") is None  # never posted
+        assert not (t.lease_dir / "batchA-00000.json").exists()
+        assert not list(t.result_dir.glob("*.pkl"))
+        # other batches are unaffected
+        t.put_job(message("batchB-00000"))
+        t.claim_job()
+        t.complete("batchB-00000", {"id": "batchB-00000", "outcome": 2})
+        assert t.take_result("batchB-00000")["outcome"] == 2
+
+
+class TestWorkerLoop:
+    def test_worker_drains_queue_and_posts_results(self, tmp_path):
+        t = SpoolTransport(tmp_path / "spool")
+        opts = FlowOptions(system=SystemOptions(k=2, m=2))
+        t.put_job(message("j0", index=0))
+        t.put_job(message("j1", index=1, options=opts.to_spec()))
+        handled = run_worker(tmp_path / "spool", tmp_path / "cache",
+                             max_jobs=2, worker_id="w-test")
+        assert handled == 2
+        r0 = t.take_result("j0")
+        r1 = t.take_result("j1")
+        assert r0["worker"] == "w-test"
+        assert r0["outcome"].system.k == 16  # default: maximize k
+        assert r1["outcome"].system.k == 2
+        assert r0["deltas"]["misses"] > 0
+        assert all("@w-test" in e[3] for e in r0["events"])
+
+    def test_worker_idle_timeout_exits_empty(self, tmp_path):
+        t0 = time.monotonic()
+        handled = run_worker(tmp_path / "spool", tmp_path / "cache",
+                             idle_timeout=0.2, poll_seconds=0.02)
+        assert handled == 0
+        assert time.monotonic() - t0 < 5.0
+
+    def test_worker_ships_job_errors_by_value(self, tmp_path):
+        t = SpoolTransport(tmp_path / "spool")
+        t.put_job(message("j0", source="not CFDlang at all"))
+        run_worker(tmp_path / "spool", tmp_path / "cache", max_jobs=1)
+        assert isinstance(t.take_result("j0")["outcome"], Exception)
+
+
+#: the DSE example's grid: degree x sharing strategy (the acceptance
+#: sweep), trimmed to two degrees to keep the suite fast
+DSE_GRID = [
+    (inverse_helmholtz_program(n), FlowOptions(sharing=mode))
+    for n in (7, 11)
+    for mode in (SharingMode.NONE, SharingMode.MATCHING, SharingMode.CLIQUE)
+]
+
+
+def result_signature(results):
+    return [
+        (
+            r.kernel.source,
+            r.hls.summary(),
+            r.memory.brams,
+            (r.system.k, r.system.m),
+            r.system.resources,
+            r.sim.total_cycles,
+        )
+        for r in results
+    ]
+
+
+class TestDistributedExecutor:
+    def test_matches_serial_bit_identical(self):
+        """Acceptance: executor='distributed', jobs=4 equals the serial
+        run on the DSE example grid."""
+        serial = compile_many(DSE_GRID, executor="serial")
+        dist = compile_many(DSE_GRID, jobs=4, executor="distributed")
+        assert result_signature(serial) == result_signature(dist)
+
+    def test_trace_is_point_ordered_with_worker_tags(self):
+        from repro.flow.session import origin_kind
+
+        jobs = DSE_GRID[:3]
+        serial_trace = FlowTrace()
+        compile_many(jobs, executor="serial", trace=serial_trace)
+        trace = FlowTrace()
+        cache = compile_many(jobs, jobs=2, executor="distributed", trace=trace)
+        assert [e.stage for e in trace.events] == [
+            e.stage for e in serial_trace.events
+        ]
+        for e in trace.events:
+            assert "@" in e.origin
+            assert origin_kind(e.origin) in ("", "memory", "disk")
+        # cross-process single flight: the shared front end ran once
+        assert trace.executed_counts()["parse"] == 1
+
+    def test_worker_stats_merge_into_parent_cache(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        compile_many(DSE_GRID[:2], jobs=2, executor="distributed", cache=cache)
+        stats = cache.stats()
+        assert stats["misses"] > 0  # the parent itself ran nothing
+        assert stats["disk_entries"] > 0
+
+    def test_memory_cache_is_rejected(self):
+        with pytest.raises(TypeError, match="DiskStageCache"):
+            compile_many(DSE_GRID[:1], jobs=2, executor="distributed",
+                         cache=StageCache())
+
+    def test_empty_batch(self):
+        assert compile_many([], jobs=2, executor="distributed") == []
+
+    def test_per_point_error_capture(self):
+        jobs = [DSE_GRID[0], ("not CFDlang", None), DSE_GRID[1]]
+        results = compile_many(jobs, jobs=2, executor="distributed",
+                               return_exceptions=True)
+        assert isinstance(results[1], Exception)
+        assert results[0].system is not None
+        assert results[2].system is not None
+        with pytest.raises(Exception):
+            compile_many(jobs, jobs=2, executor="distributed")
+
+
+class TestWorkerDeathRecovery:
+    def test_killed_worker_job_is_released_and_completes(self, monkeypatch):
+        """Acceptance: killing a worker mid-sweep neither aborts the
+        batch nor loses a point — its job is re-leased (attempt 1) and
+        completes on a surviving/respawned worker."""
+        monkeypatch.setenv("CFDLANG_FLOW_TEST_FAULT", "CRASH_MARKER")
+        crashing = "// CRASH_MARKER\n" + HELMHOLTZ_DSL
+        sweep = [
+            (HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=1, m=1))),
+            (crashing, FlowOptions(system=SystemOptions(k=2, m=2))),
+            (HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=4, m=4))),
+        ]
+        executor = DistributedExecutor(lease_seconds=1.0,
+                                       worker_grace_seconds=30.0)
+        results = compile_many(sweep, jobs=2, executor=executor)
+        assert [r.system.k for r in results] == [1, 2, 4]
+
+    def test_retries_exhausted_yields_worker_crash_error(self, monkeypatch):
+        monkeypatch.setenv("CFDLANG_FLOW_TEST_FAULT", "CRASH_MARKER")
+        crashing = "// CRASH_MARKER\n" + HELMHOLTZ_DSL
+        sweep = [
+            (HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=1, m=1))),
+            (crashing, None),
+        ]
+        # max_attempts=1: the first lease expiry exhausts the budget
+        executor = DistributedExecutor(lease_seconds=1.0, max_attempts=1,
+                                       worker_grace_seconds=30.0)
+        results = compile_many(sweep, jobs=2, executor=executor,
+                               return_exceptions=True)
+        assert results[0].system.k == 1
+        assert isinstance(results[1], WorkerCrashError)
+
+    def test_fail_fast_raises_when_retry_budget_exhausted(self, monkeypatch):
+        """Worker death is retried even under fail_fast (it is infra
+        churn, not a point failure) — but once the budget is spent it
+        becomes the point's failure and the sweep raises."""
+        monkeypatch.setenv("CFDLANG_FLOW_TEST_FAULT", "CRASH_MARKER")
+        crashing = "// CRASH_MARKER\n" + HELMHOLTZ_DSL
+        executor = DistributedExecutor(lease_seconds=1.0, max_attempts=1,
+                                       worker_grace_seconds=30.0)
+        with pytest.raises(WorkerCrashError):
+            compile_many([(crashing, None)], jobs=1, executor=executor)
+
+    def test_stalled_sweep_fails_loudly_without_workers(self, tmp_path):
+        executor = DistributedExecutor(
+            queue_dir=tmp_path / "spool",
+            spawn_workers=False,
+            worker_grace_seconds=0.5,
+            poll_seconds=0.02,
+        )
+        with pytest.raises(SystemGenerationError, match="no worker"):
+            compile_many(DSE_GRID[:1], jobs=1, executor=executor,
+                         cache=DiskStageCache(tmp_path / "cache"))
+        # the aborted batch must be scrubbed from the standing spool, or
+        # the next worker to attach would execute orphaned jobs
+        t = SpoolTransport(tmp_path / "spool")
+        assert t.claim_job() is None
+        assert not list(t.result_dir.glob("*.pkl"))
+
+
+class TestExternalWorkers:
+    def test_external_worker_drains_broker_batch(self, tmp_path):
+        """A worker attached to a standing spool (what another host would
+        run) serves a broker that spawns none itself."""
+        import subprocess
+        import sys
+
+        spool = tmp_path / "spool"
+        cache_dir = tmp_path / "cache"
+        spool.mkdir()
+        import pathlib
+
+        import repro
+
+        pkg_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (pkg_root, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.flow.cli", "worker",
+             "--queue", str(spool), "--cache-dir", str(cache_dir),
+             "--idle-timeout", "30", "--poll", "0.02"],
+            env=env,
+        )
+        try:
+            executor = DistributedExecutor(queue_dir=spool,
+                                           spawn_workers=False)
+            results = compile_many(
+                [(HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=2, m=2)))],
+                executor=executor,
+                cache=DiskStageCache(cache_dir),
+            )
+            assert results[0].system.k == 2
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+class TestWorkerCli:
+    def test_parser_requires_queue_and_cache(self, capsys):
+        from repro.flow.cli import build_worker_parser
+
+        with pytest.raises(SystemExit):
+            build_worker_parser().parse_args([])
+        args = build_worker_parser().parse_args(
+            ["--queue", "q", "--cache-dir", "c", "--max-jobs", "3"]
+        )
+        assert args.queue == "q" and args.max_jobs == 3
+
+    def test_worker_subcommand_runs(self, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        t = SpoolTransport(tmp_path / "spool")
+        t.put_job(message("j0"))
+        rc = main(["worker", "--queue", str(tmp_path / "spool"),
+                   "--cache-dir", str(tmp_path / "cache"),
+                   "--max-jobs", "1"])
+        assert rc == 0
+        assert "1 job" in capsys.readouterr().out
+        assert t.take_result("j0")["outcome"].memory.brams == 18

@@ -49,12 +49,17 @@ def result_signature(results):
 
 class TestExecutorRegistry:
     def test_names(self):
-        assert executor_names() == ["process", "serial", "thread"]
+        assert executor_names() == ["distributed", "process", "serial", "thread"]
         assert DEFAULT_EXECUTOR == "thread"
 
     def test_get_unknown_executor(self):
         with pytest.raises(SystemGenerationError, match="known executors are"):
-            get_executor("distributed")
+            get_executor("mpi")
+
+    def test_distributed_resolves_lazily(self):
+        from repro.flow.distributed import DistributedExecutor
+
+        assert isinstance(get_executor("distributed"), DistributedExecutor)
 
     def test_resolve_accepts_instance_and_none(self):
         backend = get_executor("serial")
@@ -284,6 +289,150 @@ class TestFileSingleFlight:
         res = Flow(HELMHOLTZ_DSL, cache=cache, flight=flight).run()
         assert res.memory.brams == 18
         assert not list(cache.lock_dir.glob("*.lock"))  # all released
+
+
+#: parses instantly and fails instantly — the cheapest failing point
+BAD_SOURCE = "this is not CFDlang"
+
+#: infeasible system point: fails late (build-system), after a full
+#: front-end run
+INFEASIBLE = (
+    HELMHOLTZ_DSL,
+    FlowOptions(sharing=SharingMode.NONE, system=SystemOptions(k=16, m=16)),
+)
+
+
+class TestProcessWorkerCrash:
+    """A worker killed mid-task (OOM, signal) must cost its point an
+    exception slot, never the whole sweep (regression: future.result()
+    used to raise out of the drain loop)."""
+
+    def test_crash_does_not_abort_batch(self, monkeypatch):
+        monkeypatch.setenv("CFDLANG_FLOW_TEST_FAULT", "CRASH_MARKER")
+        crashing = "// CRASH_MARKER\n" + HELMHOLTZ_DSL
+        jobs = [(crashing, None)] + SWEEP[:3]
+        trace = FlowTrace()
+        results = compile_many(jobs, jobs=2, executor="process",
+                               trace=trace, return_exceptions=True)
+        # the crashed point's slot holds the pool-breakage exception...
+        assert isinstance(results[0], Exception)
+        # ...every other point still completes (re-run on a fresh pool if
+        # it was a casualty of the breakage)...
+        assert [r.system.k for r in results[1:]] == [1, 2, 4]
+        # ...and their traces/counters were still merged
+        assert trace.executed_counts()["build-system"] == 3
+
+    def test_crash_slot_is_pool_breakage_error(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        monkeypatch.setenv("CFDLANG_FLOW_TEST_FAULT", "CRASH_MARKER")
+        crashing = "// CRASH_MARKER\n" + HELMHOLTZ_DSL
+        results = compile_many([(crashing, None)], jobs=1,
+                               executor="process", return_exceptions=True)
+        assert isinstance(results[0], BrokenProcessPool)
+
+
+class TestDeterministicTraceMerge:
+    def test_process_trace_is_point_ordered(self):
+        """Worker events merge in point order, not as_completed order, so
+        identical sweeps produce identical --trace output.  The failing
+        middle point emits fewer events (no build-system/simulate), which
+        makes any completion-order interleaving visible."""
+        jobs = [SWEEP[0], INFEASIBLE, SWEEP[1]]
+        serial_trace = FlowTrace()
+        compile_many(jobs, executor="serial", trace=serial_trace,
+                     return_exceptions=True)
+        for _ in range(2):
+            proc_trace = FlowTrace()
+            compile_many(jobs, jobs=3, executor="process", trace=proc_trace,
+                         return_exceptions=True)
+            assert [e.stage for e in proc_trace.events] == [
+                e.stage for e in serial_trace.events
+            ]
+
+    def test_process_events_carry_worker_tags(self):
+        from repro.flow.session import origin_kind
+
+        trace = FlowTrace()
+        compile_many(SWEEP[:2], jobs=2, executor="process", trace=trace)
+        assert trace.events
+        for e in trace.events:
+            assert "@" in e.origin  # worker identity tag
+            assert origin_kind(e.origin) in ("", "memory", "disk")
+        # tags must not leak into the memory/disk aggregation
+        mem = trace.cached_counts_by_origin("memory")
+        disk = trace.cached_counts_by_origin("disk")
+        assert sum(mem.values()) + sum(disk.values()) == sum(
+            1 for e in trace.events if e.cached
+        )
+
+
+class TestFailFastContract:
+    """The shared early-exit semantics: once a point fails, no backend
+    starts new points; running points finish; never-started points keep
+    their None slot.  (The thread backend used to ignore fail_fast.)"""
+
+    def _run(self, name, jobs, workers, fail_fast=True):
+        from repro.flow.executors import ExecutorContext
+
+        backend = get_executor(name)
+        cache = backend.prepare_cache(None)
+        try:
+            return backend.run(ExecutorContext(
+                jobs=jobs, workers=workers, cache=cache, trace=None,
+                fail_fast=fail_fast,
+            ))
+        finally:
+            backend.cleanup()
+
+    def test_serial_stops_after_first_failure(self):
+        outcomes = self._run("serial", [SWEEP[0], (BAD_SOURCE, None), SWEEP[1]],
+                             workers=1)
+        assert outcomes[0].system.k == 1
+        assert isinstance(outcomes[1], Exception)
+        assert outcomes[2] is None  # never started
+
+    def test_thread_skips_unstarted_points_after_failure(self):
+        jobs = [(BAD_SOURCE, None)] + SWEEP[:4]
+        outcomes = self._run("thread", jobs, workers=2)
+        assert isinstance(outcomes[0], Exception)
+        # the failing worker set the stop flag before claiming its next
+        # job, so at least the tail of the batch was never started
+        assert outcomes[-1] is None
+        for out in outcomes[1:]:
+            assert out is None or out.system.k in (1, 2, 4, 8)
+
+    def test_process_cancels_unstarted_points_after_failure(self):
+        jobs = [(BAD_SOURCE, None)] + SWEEP[:3]
+        outcomes = self._run("process", jobs, workers=1)
+        assert isinstance(outcomes[0], Exception)
+        for out in outcomes[1:]:
+            assert out is None or out.system.k in (1, 2, 4)
+
+    def test_process_fail_fast_crash_records_single_failure(self, monkeypatch):
+        """A broken pool fails every pending future; under fail_fast only
+        the first failure is recorded — the collateral points keep None,
+        so the raised error points at the actual abort cause."""
+        monkeypatch.setenv("CFDLANG_FLOW_TEST_FAULT", "CRASH_MARKER")
+        crashing = "// CRASH_MARKER\n" + HELMHOLTZ_DSL
+        jobs = [SWEEP[0], (crashing, None), SWEEP[1]]
+        outcomes = self._run("process", jobs, workers=2)
+        assert sum(1 for o in outcomes if isinstance(o, Exception)) == 1
+        for out in outcomes:
+            assert (out is None or isinstance(out, Exception)
+                    or out.system is not None)
+
+    def test_all_backends_complete_batch_without_fail_fast(self):
+        jobs = [(BAD_SOURCE, None), SWEEP[0]]
+        for name in ("serial", "thread", "process"):
+            outcomes = self._run(name, jobs, workers=2, fail_fast=False)
+            assert isinstance(outcomes[0], Exception), name
+            assert outcomes[1].system.k == 1, name
+
+    def test_thread_compile_many_raises_on_failure(self):
+        with pytest.raises(Exception):
+            compile_many([(BAD_SOURCE, None), SWEEP[0]], jobs=2,
+                         executor="thread")
 
 
 class TestSweepOptionVariants:

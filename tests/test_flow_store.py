@@ -225,6 +225,7 @@ class TestDiskStageCache:
         assert not (tmp_path / "cc" / "cc21.pkl").exists()
         assert DiskStageCache(tmp_path).verify() == {
             "checked": 2, "corrupt": [], "removed": 0,
+            "stale_locks": [], "locks_removed": 0,
         }
 
     def test_merge_stats(self, tmp_path):
@@ -237,6 +238,98 @@ class TestDiskStageCache:
         assert s["hits"] == 4 and s["memory_hits"] == 2
         assert s["disk_hits"] == 2 and s["misses"] == 5
         assert s["put_errors"] == 1
+
+
+class TestLockFileLifecycle:
+    """Stale single-flight locks used to survive clear/gc/verify, making
+    the next sweep's first touch of that key stall for the whole stale
+    window."""
+
+    @staticmethod
+    def _abandoned_lock(cache, key="deadbeef", age=3600.0):
+        from repro.flow import FileSingleFlight
+
+        flight = FileSingleFlight(cache.lock_dir)
+        assert flight.begin(key)  # leader "crashes" without finish()
+        path = cache.lock_dir / f"{key}.lock"
+        stale = time.time() - age
+        os.utime(path, (stale, stale))
+        return path
+
+    def test_clear_removes_lock_files(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        cache.put("aa41", {"x": 1})
+        path = self._abandoned_lock(cache, age=0.0)  # even a fresh lock
+        cache.clear()
+        assert not path.exists()
+
+    def test_gc_sweeps_stale_locks_only(self, tmp_path):
+        from repro.flow import FileSingleFlight
+
+        cache = DiskStageCache(tmp_path)
+        stale_path = self._abandoned_lock(cache, key="stalekey")
+        flight = FileSingleFlight(cache.lock_dir)
+        assert flight.begin("livekey")  # a live leader mid-stage
+        cache.gc(max_age_seconds=7 * 86400)
+        assert not stale_path.exists()
+        assert (cache.lock_dir / "livekey.lock").exists()
+        flight.finish("livekey")
+
+    def test_sweep_stale_locks_counts(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        self._abandoned_lock(cache, key="k1")
+        self._abandoned_lock(cache, key="k2")
+        assert cache.sweep_stale_locks() == 2
+        assert cache.sweep_stale_locks() == 0
+
+    def test_verify_reports_stale_locks(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        path = self._abandoned_lock(cache)
+        report = DiskStageCache(tmp_path).verify()
+        assert report["stale_locks"] == ["deadbeef.lock"]
+        assert path.exists()  # detection only
+        report = DiskStageCache(tmp_path).verify(fix=True)
+        assert report["locks_removed"] == 1
+        assert not path.exists()
+
+    def test_next_sweep_does_not_stall_after_clear(self, tmp_path):
+        """The user-visible symptom: an abandoned leader lock makes the
+        first flow after it wait out the stale window unless lifecycle
+        commands clean it."""
+        from repro.flow import FileSingleFlight
+
+        cache = DiskStageCache(tmp_path)
+        self._abandoned_lock(cache, age=0.0)  # looks fresh = worst case
+        cache.clear()
+        flight = FileSingleFlight(cache.lock_dir, stale_seconds=30.0)
+        t0 = time.monotonic()
+        flight.wait("deadbeef", timeout=60.0)
+        assert time.monotonic() - t0 < 5.0  # no stall: lock is gone
+        assert flight.begin("deadbeef")
+        flight.finish("deadbeef")
+
+    def test_cache_cli_verify_reports_stale_locks(self, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        cache = DiskStageCache(tmp_path)
+        cache.put("aa51", {"x": 1})
+        self._abandoned_lock(cache)
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "1 stale locks" in out and "deadbeef.lock" in out
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path),
+                     "--fix"]) == 0
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+
+    def test_cache_cli_gc_reports_stale_locks(self, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        cache = DiskStageCache(tmp_path)
+        self._abandoned_lock(cache)
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-age", "7d"]) == 0
+        assert "1 stale locks" in capsys.readouterr().out
+        assert not list(cache.lock_dir.glob("*.lock"))
 
 
 class TestParallelCompileMany:
