@@ -20,13 +20,14 @@ flight), which is where a cold multi-program sweep actually scales with
 cores.  ``--executor distributed`` spools the same job specs through a
 durable work queue instead: the broker spawns ``--jobs`` local worker
 processes by default, or — with ``--queue DIR`` pointing at a standing
-spool on a shared filesystem — any fleet of ``cfdlang-flow worker``
-processes on any hosts drains the grid, which is how the sweep scales
-past one machine.
+spool on a shared filesystem, or ``--listen HOST:PORT`` serving a TCP
+broker that ``cfdlang-flow worker --connect`` processes join from
+anywhere on the network — any fleet of workers drains the grid, which
+is how the sweep scales past one machine.
 
     python examples/design_space_exploration.py [cache-dir] \\
         [--executor serial|thread|process|distributed] [--jobs N] \\
-        [--queue DIR]
+        [--queue DIR | --listen HOST:PORT --token SECRET]
 """
 
 import argparse
@@ -91,9 +92,16 @@ def main() -> None:
                         help="with --executor distributed: a standing spool "
                              "directory shared with external "
                              "'cfdlang-flow worker' processes")
+    parser.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="with --executor distributed: serve the sweep "
+                             "over TCP; workers join with 'cfdlang-flow "
+                             "worker --connect' and need no shared mount")
+    parser.add_argument("--token", default=None, metavar="SECRET",
+                        help="shared-secret token for --listen "
+                             "(or set CFDLANG_FLOW_TOKEN)")
     parser.add_argument("--external-workers", action="store_true",
-                        help="with --queue: spawn no local workers; the "
-                             "fleet attached to the spool does all the work")
+                        help="with --queue/--listen: spawn no local workers; "
+                             "the attached fleet does all the work")
     args = parser.parse_args()
     if args.cache_dir:
         cache = DiskStageCache(args.cache_dir)
@@ -102,11 +110,18 @@ def main() -> None:
     else:
         cache = StageCache()
     executor = args.executor
-    if args.executor == "distributed" and args.queue:
+    if args.executor == "distributed" and (args.queue or args.listen):
         from repro.flow import DistributedExecutor
 
+        listen = None
+        if args.listen:
+            from repro.flow.nettransport import parse_hostport
+
+            listen = parse_hostport(args.listen)
         executor = DistributedExecutor(
             queue_dir=args.queue,
+            listen=listen,
+            token=args.token,
             spawn_workers=not args.external_workers,
         )
     trace = FlowTrace()

@@ -18,7 +18,8 @@ thread pool (``jobs=N``) with single-flight deduplication;
 :class:`DiskStageCache` persists the cache across processes.  The
 ``process`` and ``distributed`` executors (:mod:`repro.flow.executors`,
 :mod:`repro.flow.distributed`) scale the same batch across cores and
-across hosts sharing a spool/cache filesystem.
+across hosts — over a shared spool/cache filesystem, or over TCP
+(:mod:`repro.flow.nettransport`) with no shared mount at all.
 """
 
 from repro.flow.options import FlowOptions, SystemOptions
@@ -46,11 +47,21 @@ from repro.flow.executors import (
     get_executor,
 )
 from repro.flow.distributed import (
+    BrokerUnreachableError,
     DistributedExecutor,
     SpoolTransport,
     Transport,
+    TransportClosedError,
     WorkerCrashError,
     run_worker,
+)
+from repro.flow.nettransport import (
+    BrokerAuthError,
+    BrokerServer,
+    MemoryTransport,
+    RemoteStageCache,
+    TcpTransport,
+    run_tcp_worker,
 )
 from repro.flow.artifacts import write_artifacts
 
@@ -76,8 +87,16 @@ __all__ = [
     "DistributedExecutor",
     "Transport",
     "SpoolTransport",
+    "MemoryTransport",
+    "TcpTransport",
+    "BrokerServer",
+    "RemoteStageCache",
     "WorkerCrashError",
+    "TransportClosedError",
+    "BrokerUnreachableError",
+    "BrokerAuthError",
     "run_worker",
+    "run_tcp_worker",
     "executor_names",
     "get_executor",
     "Stage",

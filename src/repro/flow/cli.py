@@ -9,7 +9,12 @@
     cfdlang-flow --app helmholtz --cache-dir .flowcache --trace
     cfdlang-flow --app helmholtz --sweep 1x1,8x8 --executor distributed \\
         --jobs 4 --cache-dir .flowcache
+    cfdlang-flow --app helmholtz --sweep 1x1,8x8 --executor distributed \\
+        --listen 127.0.0.1:8765 --token SECRET --jobs 2 --cache-dir .flowcache
     cfdlang-flow worker --queue /mnt/spool --cache-dir /mnt/flowcache
+    cfdlang-flow worker --connect broker-host:8765 --token SECRET
+    cfdlang-flow broker --listen 0.0.0.0:8765 --token SECRET \\
+        --cache-dir /srv/flowcache
     cfdlang-flow cache stats --cache-dir .flowcache
     cfdlang-flow cache gc --cache-dir .flowcache --max-bytes 256M --max-age 7d
 """
@@ -82,10 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "standing queue that external 'cfdlang-flow worker' "
                         "processes are draining (default: a temporary spool "
                         "plus --jobs locally spawned workers)")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="with --executor distributed: serve the job queue "
+                        "and stage cache over TCP from this process; workers "
+                        "join with 'cfdlang-flow worker --connect HOST:PORT' "
+                        "and need no shared filesystem (requires --token)")
+    p.add_argument("--broker", default=None, metavar="HOST:PORT",
+                   help="with --executor distributed: submit the sweep to a "
+                        "standing 'cfdlang-flow broker' at this address "
+                        "instead of running a queue here (requires --token)")
+    p.add_argument("--token", default=None, metavar="SECRET",
+                   help="shared-secret token for --listen/--broker "
+                        "(or set CFDLANG_FLOW_TOKEN)")
     p.add_argument("--external-workers", action="store_true",
                    help="with --executor distributed: do not spawn local "
                         "workers; rely entirely on workers already attached "
-                        "to the --queue spool")
+                        "to the --queue spool / --listen broker")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persist the stage cache to DIR, reusing artifacts "
                         "across runs (content-addressed pickle store)")
@@ -129,10 +146,10 @@ def _print_boards() -> None:
 
 def _cache_stats_line(cache) -> str:
     s = cache.stats()
-    line = (
-        f"cache: {s['hits']} hits ({s['memory_hits']} memory, "
-        f"{s['disk_hits']} disk), {s['misses']} misses"
-    )
+    tiers = f"{s['memory_hits']} memory, {s['disk_hits']} disk"
+    if s.get("remote_hits"):
+        tiers += f", {s['remote_hits']} remote"
+    line = f"cache: {s['hits']} hits ({tiers}), {s['misses']} misses"
     if "disk_entries" in s:
         line += (
             f"; {s['disk_entries']} entries / {s['disk_bytes']} bytes on disk"
@@ -206,14 +223,23 @@ def build_worker_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="cfdlang-flow worker",
         description="pull and run distributed-sweep jobs from a spool queue "
-                    "(any number of workers, on any hosts sharing the "
-                    "spool/cache filesystem)",
+                    "(--queue: hosts sharing the spool/cache filesystem) or "
+                    "a TCP broker (--connect: any host that can reach it)",
     )
-    p.add_argument("--queue", required=True, metavar="DIR",
-                   help="the spool directory jobs are enqueued in")
-    p.add_argument("--cache-dir", required=True, metavar="DIR",
-                   help="the shared stage cache directory (artifacts and "
-                        "single-flight locks)")
+    mode = p.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--queue", metavar="DIR",
+                      help="the spool directory jobs are enqueued in")
+    mode.add_argument("--connect", metavar="HOST:PORT",
+                      help="pull jobs from the 'cfdlang-flow broker' (or "
+                           "sweep --listen) at this address instead of a "
+                           "spool; needs --token")
+    p.add_argument("--token", default=None, metavar="SECRET",
+                   help="shared-secret token for --connect "
+                        "(or set CFDLANG_FLOW_TOKEN)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="the stage cache directory: required (and shared) "
+                        "with --queue; optional worker-local tier with "
+                        "--connect (default: a temporary directory)")
     p.add_argument("--poll", type=float, default=0.05, metavar="SECONDS",
                    help="queue polling interval (default 0.05)")
     p.add_argument("--heartbeat", type=float, default=1.0, metavar="SECONDS",
@@ -231,20 +257,120 @@ def build_worker_parser() -> argparse.ArgumentParser:
 
 
 def _worker_main(argv) -> int:
+    import os
+    import signal
+
     from repro.flow.distributed import run_worker
 
     args = build_worker_parser().parse_args(argv)
-    handled = run_worker(
-        args.queue,
-        args.cache_dir,
-        poll_seconds=args.poll,
-        heartbeat_seconds=args.heartbeat,
-        idle_timeout=args.idle_timeout,
-        max_jobs=args.max_jobs,
-        worker_id=args.worker_id,
-    )
+    try:
+        # a broker reaps idle workers with SIGTERM, which by default
+        # skips finally blocks — convert it to a normal exit so the
+        # worker unregisters, drops its heartbeat, and removes any
+        # temporary local cache tier on the way out
+        signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    except (ValueError, OSError):  # pragma: no cover — exotic hosts
+        pass
+    try:
+        if args.connect:
+            from repro.flow.nettransport import run_tcp_worker
+
+            handled = run_tcp_worker(
+                args.connect,
+                args.token,
+                args.cache_dir,
+                poll_seconds=args.poll,
+                heartbeat_seconds=args.heartbeat,
+                idle_timeout=args.idle_timeout,
+                max_jobs=args.max_jobs,
+                worker_id=args.worker_id,
+            )
+        else:
+            if args.cache_dir is None:
+                print("error: worker --queue needs --cache-dir: spool "
+                      "workers share artifacts through the cache directory",
+                      file=sys.stderr)
+                return 2
+            if not os.path.isdir(args.queue):
+                # a broker creates its spool before spawning workers, so
+                # a missing directory here is a typo or a missing mount —
+                # silently mkdir-ing it would strand the worker on an
+                # empty queue nobody ever fills
+                print(f"error: no spool directory at {args.queue!r} "
+                      "(is the shared mount up?)", file=sys.stderr)
+                return 2
+            handled = run_worker(
+                args.queue,
+                args.cache_dir,
+                poll_seconds=args.poll,
+                heartbeat_seconds=args.heartbeat,
+                idle_timeout=args.idle_timeout,
+                max_jobs=args.max_jobs,
+                worker_id=args.worker_id,
+            )
+    except SystemGenerationError as exc:
+        # unreachable/rejecting broker, bad address, unwritable spool …
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot use the given directories: {exc}",
+              file=sys.stderr)
+        return 2
     print(f"worker exiting after {handled} job{'s' if handled != 1 else ''}")
     return 0
+
+
+def build_broker_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cfdlang-flow broker",
+        description="serve a standing distributed-sweep job queue and stage "
+                    "cache over TCP; sweeps attach with --broker HOST:PORT, "
+                    "workers with 'worker --connect HOST:PORT'",
+    )
+    p.add_argument("--listen", required=True, metavar="HOST:PORT",
+                   help="address to bind (port 0 picks an ephemeral port)")
+    p.add_argument("--token", default=None, metavar="SECRET",
+                   help="shared-secret token clients must present "
+                        "(or set CFDLANG_FLOW_TOKEN)")
+    p.add_argument("--cache-dir", required=True, metavar="DIR",
+                   help="the broker-side stage cache served to workers")
+    return p
+
+
+def _broker_main(argv) -> int:
+    import time
+
+    args = build_broker_parser().parse_args(argv)
+    try:
+        from repro.flow.nettransport import (
+            BrokerServer,
+            parse_hostport,
+            resolve_token,
+        )
+
+        host, port = parse_hostport(args.listen)
+        server = BrokerServer(
+            host, port, resolve_token(args.token) or "",
+            DiskStageCache(args.cache_dir),
+        )
+    except SystemGenerationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot serve on {args.listen!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    bound_host, bound_port = server.address
+    print(f"broker listening on {bound_host}:{bound_port} "
+          f"(cache: {args.cache_dir}); Ctrl-C to stop", flush=True)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("broker shutting down")
+        return 0
+    finally:
+        server.close()
 
 
 def _cache_main(argv) -> int:
@@ -354,15 +480,37 @@ def _run_sweep(source, options: FlowOptions, args, cache, trace) -> int:
         print(f"{args.executor} executor: using a temporary cache directory "
               "(pass --cache-dir to persist artifacts across runs)")
     executor = args.executor
-    if args.executor == "distributed" and (args.queue or args.external_workers):
+    distributed_flags = (args.queue or args.listen or args.broker
+                         or args.external_workers)
+    if args.executor != "distributed" and distributed_flags:
+        print("error: --queue/--listen/--broker/--external-workers need "
+              "--executor distributed", file=sys.stderr)
+        return 2
+    if args.executor == "distributed" and distributed_flags:
         from repro.flow.distributed import DistributedExecutor
 
-        if args.external_workers and not args.queue:
-            print("error: --external-workers needs --queue: external "
-                  "workers must be polling a standing spool", file=sys.stderr)
+        if args.external_workers and not (args.queue or args.listen
+                                          or args.broker):
+            print("error: --external-workers needs --queue, --listen, or "
+                  "--broker: external workers must have a standing queue "
+                  "to attach to", file=sys.stderr)
             return 2
+        listen = broker = None
+        if args.listen or args.broker:
+            from repro.flow.nettransport import parse_hostport, resolve_token
+
+            if not resolve_token(args.token):
+                print("error: --listen/--broker need a shared-secret "
+                      "token: pass --token or set CFDLANG_FLOW_TOKEN",
+                      file=sys.stderr)
+                return 2
+            listen = parse_hostport(args.listen) if args.listen else None
+            broker = parse_hostport(args.broker) if args.broker else None
         executor = DistributedExecutor(
             queue_dir=args.queue,
+            listen=listen,
+            broker=broker,
+            token=args.token,
             spawn_workers=not args.external_workers,
         )
     try:
@@ -413,6 +561,8 @@ def main(argv=None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "worker":
         return _worker_main(argv[1:])
+    if argv and argv[0] == "broker":
+        return _broker_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_stages:
         _print_stages()

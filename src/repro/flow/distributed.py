@@ -16,8 +16,11 @@ same specs.
 The reference transport is a filesystem spool directory
 (:class:`SpoolTransport`), chosen because the flow already assumes a
 shared filesystem for its disk cache; the :class:`Transport` protocol
-keeps the broker and worker loops transport-agnostic so a TCP or Redis
-transport can slot in without touching either.
+keeps the broker and worker loops transport-agnostic.
+:mod:`repro.flow.nettransport` implements the same protocol over a TCP
+socket (broker server + ``cfdlang-flow worker --connect``), which drops
+the shared-mount requirement entirely; a Redis transport could slot in
+the same way without touching either loop.
 
 Crash safety is lease-based.  A claimed job's spool file doubles as its
 lease; the worker heartbeats it (mtime touches from a background
@@ -50,6 +53,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 import uuid
 from typing import Dict, List, Optional, Set
@@ -61,9 +65,9 @@ from repro.flow.store import (
     CacheBackend,
     DiskStageCache,
     FileSingleFlight,
-    Heartbeat,
     atomic_write_bytes,
     file_age_seconds,
+    touch_file,
 )
 
 try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters
@@ -81,6 +85,24 @@ class WorkerCrashError(SystemGenerationError):
     result."""
 
 
+class TransportClosedError(SystemGenerationError):
+    """The transport's far side went away mid-conversation (broker
+    connection lost).  Workers treat it as "the sweep is over" and exit
+    cleanly; a broker mid-supervision propagates it."""
+
+
+class BrokerUnreachableError(SystemGenerationError):
+    """No broker answered at the given address within the bounded
+    connect-retry budget."""
+
+
+def batch_of(job_id: str) -> str:
+    """The batch a broker-minted job id belongs to (ids are
+    ``<batch>-<index>``); ids without the separator are their own
+    batch."""
+    return job_id.rsplit("-", 1)[0]
+
+
 @runtime_checkable
 class Transport(Protocol):
     """What the broker and worker loops require of a work queue.
@@ -91,6 +113,15 @@ class Transport(Protocol):
     lease; ``heartbeat_job`` keeps a claimed job's lease alive;
     ``expired_leases`` surfaces jobs whose claimer stopped heartbeating
     so the broker can ``release`` and re-``put_job`` them.
+    ``heartbeat_worker`` / ``unregister_worker`` / ``alive_workers`` are
+    the fleet-liveness side: how a worker proves it exists and how the
+    broker's stall detection finds out nobody does.  How leases and
+    liveness are clocked is the transport's business (file mtimes for
+    the spool, timestamps for TCP); the loops never look at files.
+
+    The contract is pinned by the transport-conformance suite in
+    ``tests/test_flow_nettransport.py`` — run any new transport against
+    it.
     """
 
     def put_job(self, message: Dict[str, object]) -> None: ...
@@ -98,8 +129,6 @@ class Transport(Protocol):
     def claim_job(self) -> Optional[Dict[str, object]]: ...
 
     def heartbeat_job(self, job_id: str) -> None: ...
-
-    def job_lease_path(self, job_id: str) -> Optional[str]: ...
 
     def complete(self, job_id: str, payload: Dict[str, object]) -> None: ...
 
@@ -115,7 +144,9 @@ class Transport(Protocol):
 
     def mark_batch_done(self, batch_id: str) -> None: ...
 
-    def worker_heartbeat_path(self, worker_id: str) -> str: ...
+    def heartbeat_worker(self, worker_id: str) -> None: ...
+
+    def unregister_worker(self, worker_id: str) -> None: ...
 
     def alive_workers(self, stale_seconds: float) -> List[str]: ...
 
@@ -185,9 +216,6 @@ class SpoolTransport:
         except OSError:
             pass
 
-    def job_lease_path(self, job_id: str) -> Optional[str]:
-        return str(self.lease_dir / (job_id + ".json"))
-
     def complete(self, job_id: str, payload: Dict[str, object]) -> None:
         if self.batch_done(job_id):
             # the broker is gone (batch finished or aborted): posting
@@ -256,10 +284,6 @@ class SpoolTransport:
         return cancelled
 
     # -- batch tombstones ----------------------------------------------------
-    @staticmethod
-    def _batch_of(job_id: str) -> str:
-        return job_id.rsplit("-", 1)[0]
-
     def batch_done(self, job_id: str) -> bool:
         """Whether the batch this job belongs to has been closed out.
 
@@ -267,7 +291,7 @@ class SpoolTransport:
         marked its batch done (normal completion or abort), a straggler
         result would sit in a standing spool unconsumed forever.
         """
-        return (self.done_dir / (self._batch_of(job_id) + ".done")).exists()
+        return (self.done_dir / (batch_of(job_id) + ".done")).exists()
 
     def mark_batch_done(self, batch_id: str) -> None:
         atomic_write_bytes(self.done_dir / (batch_id + ".done"), b"")
@@ -283,6 +307,15 @@ class SpoolTransport:
     def worker_heartbeat_path(self, worker_id: str) -> str:
         return str(self.worker_dir / (worker_id + ".hb"))
 
+    def heartbeat_worker(self, worker_id: str) -> None:
+        touch_file(self.worker_heartbeat_path(worker_id))
+
+    def unregister_worker(self, worker_id: str) -> None:
+        try:
+            os.unlink(self.worker_heartbeat_path(worker_id))
+        except OSError:
+            pass
+
     def alive_workers(self, stale_seconds: float) -> List[str]:
         alive = []
         for path in sorted(self.worker_dir.glob("*.hb")):
@@ -297,9 +330,61 @@ def default_worker_id() -> str:
     return f"{socket.gethostname()}-pid{os.getpid()}"
 
 
+class WorkerPulse:
+    """Background thread beating a worker's liveness — and its current
+    job's lease — through whatever transport is in use.
+
+    A worker spends its time inside long single-threaded stage
+    computations, so the beating has to happen off-thread.  Set
+    :attr:`job` when a job starts and clear it when the job ends; every
+    interval the pulse calls ``transport.heartbeat_worker`` plus (with a
+    job active) ``transport.heartbeat_job``.  Transport hiccups are
+    swallowed: a missed beat costs at worst a spurious requeue, which
+    the duplicate-result path already tolerates, while an exception here
+    would kill liveness for good.
+    """
+
+    def __init__(
+        self, transport: Transport, worker_id: str,
+        interval_seconds: float = 1.0,
+    ) -> None:
+        self.transport = transport
+        self.worker_id = worker_id
+        self.interval_seconds = interval_seconds
+        self.job: Optional[str] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "WorkerPulse":
+        self._beat()
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._run, daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _beat(self) -> None:
+        try:
+            self.transport.heartbeat_worker(self.worker_id)
+            job = self.job
+            if job is not None:
+                self.transport.heartbeat_job(job)
+        except Exception:  # noqa: BLE001 — see class docstring
+            pass
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self._beat()
+
+
 def run_worker(
-    queue_dir,
-    cache_dir,
+    queue_dir=None,
+    cache_dir=None,
     *,
     poll_seconds: float = 0.05,
     heartbeat_seconds: float = 1.0,
@@ -307,17 +392,26 @@ def run_worker(
     max_jobs: Optional[int] = None,
     worker_id: Optional[str] = None,
     transport: Optional[Transport] = None,
+    cache=None,
 ) -> int:
-    """Pull and run spooled jobs until told (or timed) out.
+    """Pull and run queued jobs until told (or timed) out.
 
-    The body of ``cfdlang-flow worker``: claim a job, run it through the
-    standard :class:`~repro.flow.session.Flow` against the shared
-    :class:`DiskStageCache` (with cross-process
-    :class:`FileSingleFlight` dedup, so workers never duplicate stage
-    work), post the result, repeat.  A background :class:`Heartbeat`
-    keeps the worker's liveness file and the running job's lease fresh —
-    if this process dies mid-job, the lease goes stale and the broker
-    requeues the job elsewhere.
+    The body of ``cfdlang-flow worker``, for any transport: claim a job,
+    run it through the standard :class:`~repro.flow.session.Flow`
+    against the shared cache (with cross-process
+    :class:`FileSingleFlight` dedup on the cache's lock directory, so
+    co-hosted workers never duplicate stage work), post the result,
+    repeat.  A background :class:`WorkerPulse` keeps the worker's
+    liveness and the running job's lease fresh — if this process dies
+    mid-job, the lease goes stale and the broker requeues the job
+    elsewhere.
+
+    Spool mode passes ``queue_dir``/``cache_dir`` (the shared-mount
+    fleet); TCP mode passes ``transport``/``cache`` built by
+    :func:`repro.flow.nettransport.run_tcp_worker`.  A transport that
+    reports :class:`TransportClosedError` (its broker hung up) ends the
+    loop cleanly rather than erroring: a vanished broker means the sweep
+    is over.
 
     ``idle_timeout`` bounds how long an empty queue is polled before the
     worker exits (None = poll forever, the long-lived fleet-member
@@ -329,15 +423,17 @@ def run_worker(
 
     transport = transport if transport is not None else SpoolTransport(queue_dir)
     worker = worker_id or default_worker_id()
-    cache = DiskStageCache(cache_dir)
+    cache = cache if cache is not None else DiskStageCache(cache_dir)
     flight = FileSingleFlight(cache.lock_dir)
-    heartbeat = Heartbeat(heartbeat_seconds).start()
-    heartbeat.add(transport.worker_heartbeat_path(worker))
+    pulse = WorkerPulse(transport, worker, heartbeat_seconds).start()
     handled = 0
     idle_since = time.monotonic()
     try:
         while True:
-            message = transport.claim_job()
+            try:
+                message = transport.claim_job()
+            except TransportClosedError:
+                break  # broker gone: the sweep is over
             if message is None:
                 if max_jobs is not None and handled >= max_jobs:
                     break
@@ -351,9 +447,7 @@ def run_worker(
             maybe_crash_for_test(
                 str(message["source"]), int(message.get("attempt", 0))
             )
-            lease_path = transport.job_lease_path(job_id)
-            if lease_path is not None:
-                heartbeat.add(lease_path)
+            pulse.job = job_id
             try:
                 outcome, events, deltas = run_job_spec(
                     (message["source"], message["options"]),
@@ -362,28 +456,30 @@ def run_worker(
                     worker,
                 )
             finally:
-                if lease_path is not None:
-                    heartbeat.discard(lease_path)
-            transport.complete(
-                job_id,
-                {
-                    "id": job_id,
-                    "index": message.get("index"),
-                    "attempt": message.get("attempt", 0),
-                    "worker": worker,
-                    "outcome": outcome,
-                    "events": events,
-                    "deltas": deltas,
-                },
-            )
+                pulse.job = None
+            try:
+                transport.complete(
+                    job_id,
+                    {
+                        "id": job_id,
+                        "index": message.get("index"),
+                        "attempt": message.get("attempt", 0),
+                        "worker": worker,
+                        "outcome": outcome,
+                        "events": events,
+                        "deltas": deltas,
+                    },
+                )
+            except TransportClosedError:
+                break  # broker gone mid-post: its lease machinery mops up
             handled += 1
             if max_jobs is not None and handled >= max_jobs:
                 break
     finally:
-        heartbeat.stop()
+        pulse.stop()
         try:
-            os.unlink(transport.worker_heartbeat_path(worker))
-        except OSError:
+            transport.unregister_worker(worker)
+        except Exception:  # noqa: BLE001 — best-effort on a dying transport
             pass
     return handled
 
@@ -393,13 +489,27 @@ class DistributedExecutor:
     """Queue-and-workers backend: sweep throughput bounded by fleet size.
 
     ``compile_many(..., executor="distributed", jobs=N)`` enqueues every
-    design point on the spool and spawns N local worker processes (the
-    ``cfdlang-flow worker`` subcommand) that drain it — plus any number
-    of externally attached workers, on this host or others sharing the
-    spool/cache filesystem, that happen to be polling the same queue.
-    Pass ``queue_dir`` to use a standing spool (and
-    ``spawn_workers=False`` to rely purely on the external fleet);
-    without it a temporary spool is provisioned and removed afterwards.
+    design point on a work queue and spawns N local worker processes
+    (the ``cfdlang-flow worker`` subcommand) that drain it — plus any
+    number of externally attached workers that happen to be polling the
+    same queue.  Three queue modes:
+
+    * default — a temporary spool directory, provisioned and removed
+      around the batch; external workers on hosts sharing the spool and
+      cache filesystem may also attach.  ``queue_dir`` keeps a standing
+      spool instead (and ``spawn_workers=False`` relies purely on the
+      external fleet).
+    * ``listen=(host, port)`` — this process runs a TCP broker
+      (:class:`~repro.flow.nettransport.BrokerServer`) owning the queue
+      and the stage cache; spawned and external workers connect with
+      ``cfdlang-flow worker --connect host:port --token ...`` and need
+      no shared filesystem at all.  Port 0 binds an ephemeral port.
+    * ``broker=(host, port)`` — attach to a *standing* broker
+      (``cfdlang-flow broker``) as a remote submitter: jobs, results,
+      and supervision all travel over the wire.
+
+    ``token`` is the shared secret of the TCP modes (falls back to the
+    ``CFDLANG_FLOW_TOKEN`` environment variable).
 
     Supervision: the broker polls for results, requeues jobs whose lease
     stopped heartbeating (a dead worker) up to ``max_attempts`` total
@@ -408,7 +518,9 @@ class DistributedExecutor:
     worker anywhere has heartbeat for ``worker_grace_seconds``.  Worker
     traces merge back in point order with the worker's identity tagged
     in each event origin, and cache counter deltas fold into the shared
-    cache, exactly as the process backend does.
+    cache, exactly as the process backend does.  All of this is
+    transport-agnostic — leases and liveness are the transport's
+    business, so every mode shares one supervision loop.
 
     ``lease_seconds`` must comfortably exceed the workers' heartbeat
     interval or live jobs get requeued spuriously: spawned workers are
@@ -424,14 +536,25 @@ class DistributedExecutor:
         *,
         queue_dir=None,
         spawn_workers: bool = True,
+        listen=None,
+        broker=None,
+        token: Optional[str] = None,
         lease_seconds: float = 30.0,
         poll_seconds: float = 0.05,
         max_attempts: int = 3,
         worker_grace_seconds: float = DEFAULT_LOCK_STALE_SECONDS,
         worker_idle_timeout: float = 300.0,
     ) -> None:
+        if sum(x is not None for x in (queue_dir, listen, broker)) > 1:
+            raise SystemGenerationError(
+                "pick one queue mode: queue_dir (spool), listen "
+                "(run a TCP broker), or broker (attach to one)"
+            )
         self.queue_dir = queue_dir
         self.spawn_workers = spawn_workers
+        self.listen = listen
+        self.broker = broker
+        self.token = token
         self.lease_seconds = lease_seconds
         self.poll_seconds = poll_seconds
         self.max_attempts = max_attempts
@@ -439,7 +562,10 @@ class DistributedExecutor:
         self.worker_idle_timeout = worker_idle_timeout
         self._tmp_cache_dir: Optional[str] = None
         self._tmp_spool_dir: Optional[str] = None
+        self._tmp_worker_root: Optional[str] = None
         self._procs: List[subprocess.Popen] = []
+        #: mode-specific argv/env for spawning one worker; set by run()
+        self._spawn_plan = None
 
     # -- Executor protocol ---------------------------------------------------
     def prepare_cache(self, cache: Optional[CacheBackend]) -> CacheBackend:
@@ -461,11 +587,7 @@ class DistributedExecutor:
         outcomes: List[object] = [None] * len(context.jobs)
         if not context.jobs:
             return outcomes
-        spool = self.queue_dir
-        if spool is None:
-            self._tmp_spool_dir = tempfile.mkdtemp(prefix="cfdlang-flow-spool-")
-            spool = self._tmp_spool_dir
-        transport = SpoolTransport(spool)
+        transport, server, client = self._make_transport(cache)
         batch = uuid.uuid4().hex[:12]
         messages: Dict[str, Dict[str, object]] = {}
         for i, (source, options) in enumerate(context.jobs):
@@ -477,29 +599,36 @@ class DistributedExecutor:
                 "options": None if options is None else options.to_spec(),
                 "attempt": 0,
             }
-        for message in messages.values():
-            transport.put_job(message)
-        if self.spawn_workers:
-            n = min(max(1, context.workers), len(messages))
-            for _ in range(n):
-                self._spawn_worker(spool, cache)
         try:
-            events_by_point = self._supervise(
-                context, transport, messages, outcomes
-            )
+            for message in messages.values():
+                transport.put_job(message)
+            if self.spawn_workers:
+                n = min(max(1, context.workers), len(messages))
+                for _ in range(n):
+                    self._spawn_worker()
+            try:
+                events_by_point = self._supervise(
+                    context, transport, messages, outcomes
+                )
+            finally:
+                self._reap_workers()
+                # close the batch out, success or not.  The tombstone
+                # stops in-flight straggler workers from posting results
+                # nobody will consume; the scrub removes what is already
+                # there: unclaimed jobs of an aborted sweep (which a
+                # worker attaching to a standing queue later would
+                # execute) and duplicate results of re-leased jobs that
+                # completed twice.
+                transport.mark_batch_done(batch)
+                transport.cancel_pending(set(messages))
+                for job_id in messages:
+                    transport.take_result(job_id)
+                    transport.release(job_id)
         finally:
-            self._reap_workers()
-            # close the batch out, success or not.  The tombstone stops
-            # in-flight straggler workers from posting results nobody
-            # will consume; the scrub removes what is already there:
-            # unclaimed jobs of an aborted sweep (which a worker
-            # attaching to a standing queue later would execute) and
-            # duplicate results of re-leased jobs that completed twice.
-            transport.mark_batch_done(batch)
-            transport.cancel_pending(set(messages))
-            for job_id in messages:
-                transport.take_result(job_id)
-                transport.release(job_id)
+            if server is not None:
+                server.close()
+            if client is not None:
+                client.close()
         # point-order merge: deterministic --trace output, same as the
         # process backend
         if context.trace is not None:
@@ -510,25 +639,76 @@ class DistributedExecutor:
 
     def cleanup(self) -> None:
         self._reap_workers()
-        if self._tmp_spool_dir is not None:
-            shutil.rmtree(self._tmp_spool_dir, ignore_errors=True)
-            self._tmp_spool_dir = None
-        if self._tmp_cache_dir is not None:
-            shutil.rmtree(self._tmp_cache_dir, ignore_errors=True)
-            self._tmp_cache_dir = None
+        for attr in ("_tmp_spool_dir", "_tmp_cache_dir", "_tmp_worker_root"):
+            path = getattr(self, attr)
+            if path is not None:
+                shutil.rmtree(path, ignore_errors=True)
+                setattr(self, attr, None)
+
+    # -- transport selection -------------------------------------------------
+    def _make_transport(self, cache: DiskStageCache):
+        """The batch's (transport, server, client) per queue mode; also
+        records how to spawn one worker against it (``_spawn_plan``)."""
+        if self.listen is not None:
+            from repro.flow.nettransport import BrokerServer, resolve_token
+
+            host, port = self.listen
+            server = BrokerServer(
+                host, port, resolve_token(self.token) or "", cache
+            )
+            self._set_tcp_spawn_plan(server.address)
+            return server.transport, server, None
+        if self.broker is not None:
+            from repro.flow.nettransport import TcpTransport
+
+            client = TcpTransport(self.broker, self.token).connect()
+            self._set_tcp_spawn_plan(client.address)
+            return client, None, client
+        spool = self.queue_dir
+        if spool is None:
+            self._tmp_spool_dir = tempfile.mkdtemp(prefix="cfdlang-flow-spool-")
+            spool = self._tmp_spool_dir
+        log_dir = pathlib.Path(spool) / "workers"
+        self._spawn_plan = (
+            ["--queue", str(spool), "--cache-dir", str(cache.cache_dir)],
+            log_dir,
+            None,
+        )
+        return SpoolTransport(spool), None, None
+
+    def _set_tcp_spawn_plan(self, address) -> None:
+        from repro.flow.nettransport import TOKEN_ENV, resolve_token
+
+        # spawned workers share one local cache tier under a disposable
+        # root this executor owns and cleanup() removes — passing no
+        # --cache-dir would have each worker mkdtemp a tier that leaks
+        # when _reap_workers SIGTERMs it.  Sharing the tier between
+        # same-host spawns is a feature (lock-file single flight dedups
+        # them); sharing the *broker's* directory would defeat the
+        # no-shared-mount point, and the wire already shares entries.
+        self._tmp_worker_root = tempfile.mkdtemp(prefix="cfdlang-flow-workers-")
+        root = pathlib.Path(self._tmp_worker_root)
+        host, port = address
+        self._spawn_plan = (
+            ["--connect", f"{host}:{port}",
+             "--cache-dir", str(root / "cache")],
+            root / "logs",
+            {TOKEN_ENV: resolve_token(self.token) or ""},
+        )
 
     # -- worker lifecycle ----------------------------------------------------
-    def _spawn_worker(self, spool, cache: DiskStageCache) -> None:
+    def _spawn_worker(self) -> None:
+        argv_tail, log_dir, extra_env = self._spawn_plan
         env = dict(os.environ)
+        if extra_env:
+            env.update(extra_env)  # the token travels by env, not argv
         # workers must import this package even when it is not installed
         # (tests run from a source tree via PYTHONPATH)
         pkg_root = str(pathlib.Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in (pkg_root, env.get("PYTHONPATH")) if p
         )
-        log_path = (
-            pathlib.Path(spool) / "workers" / f"worker-{len(self._procs)}.log"
-        )
+        log_path = pathlib.Path(log_dir) / f"worker-{len(self._procs)}.log"
         log_path.parent.mkdir(parents=True, exist_ok=True)
         # a lease only stays alive if it is touched faster than the broker
         # expires it: heartbeat at a quarter of the lease window, so a
@@ -541,8 +721,7 @@ class DistributedExecutor:
                     "-m",
                     "repro.flow.cli",
                     "worker",
-                    "--queue", str(spool),
-                    "--cache-dir", str(cache.cache_dir),
+                    *argv_tail,
                     "--idle-timeout", str(self.worker_idle_timeout),
                     "--poll", str(self.poll_seconds),
                     "--heartbeat", str(heartbeat),
@@ -553,15 +732,14 @@ class DistributedExecutor:
             )
         self._procs.append(proc)
 
-    def _respawn_dead_workers(self, spool, cache: DiskStageCache,
-                              budget: List[int]) -> None:
+    def _respawn_dead_workers(self, budget: List[int]) -> None:
         for proc in list(self._procs):
             if proc.poll() is None:
                 continue
             self._procs.remove(proc)
             if budget[0] > 0:
                 budget[0] -= 1
-                self._spawn_worker(spool, cache)
+                self._spawn_worker()
 
     def _reap_workers(self) -> None:
         for proc in self._procs:
@@ -590,7 +768,6 @@ class DistributedExecutor:
         # retry budget allows across the whole batch, with a floor so a
         # single flaky worker can't exhaust it instantly
         budget = [max(2 * len(self._procs), self.max_attempts) + 2]
-        spool = transport.spool_dir if isinstance(transport, SpoolTransport) else None
         failed = False
         last_progress = time.monotonic()
 
@@ -661,8 +838,8 @@ class DistributedExecutor:
                     continue  # another broker's job
                 progressed = True
                 retry_or_give_up(job_id)
-            if pending and self.spawn_workers and spool is not None:
-                self._respawn_dead_workers(spool, cache, budget)
+            if pending and self.spawn_workers:
+                self._respawn_dead_workers(budget)
             now = time.monotonic()
             if progressed:
                 last_progress = now

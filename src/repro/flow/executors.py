@@ -22,9 +22,11 @@ for every point), so the right backend depends on where the time goes:
   guarantee between address spaces.  This is the backend that makes
   core count, not stage count, the limit on CPU-bound sweep throughput.
 * ``distributed`` — :mod:`repro.flow.distributed`: the same job specs,
-  spooled through a durable work queue instead of a pool, so workers on
-  *any* host sharing the cache/spool filesystem can pull them.  This is
-  the backend that makes fleet size, not core count, the limit.
+  shipped through a durable work queue instead of a pool — a spool
+  directory for workers sharing the cache/spool filesystem, or a TCP
+  broker (:mod:`repro.flow.nettransport`) for workers that share
+  nothing but a network.  This is the backend that makes fleet size,
+  not core count, the limit.
 
 Backends implement the :class:`Executor` protocol and register under a
 name; ``compile_many(..., executor="process")`` or the CLI's
@@ -204,7 +206,9 @@ class ThreadExecutor:
 _WORKER_STATE: Dict[str, object] = {}
 
 #: cache counters whose per-task deltas are merged back into the parent
-_COUNTER_KEYS = ("hits", "memory_hits", "disk_hits", "misses", "put_errors")
+_COUNTER_KEYS = (
+    "hits", "memory_hits", "disk_hits", "remote_hits", "misses", "put_errors"
+)
 
 
 def _process_worker_init(

@@ -48,10 +48,12 @@ from repro.flow.store import CacheBackend, SingleFlight, StageCache
 class StageEvent:
     """One stage execution (or cache hit) observed by a trace.
 
-    ``origin`` says where a hit came from: ``"memory"`` or ``"disk"``
-    (empty for stages that actually ran).  Events merged back from a
-    process-pool or distributed worker carry the worker's identity after
-    an ``@`` (``"disk@pid1234"``); :func:`origin_kind` strips the tag.
+    ``origin`` says where a hit came from: ``"memory"``, ``"disk"``, or
+    ``"remote"`` — a TCP worker served by its broker's cache over the
+    wire (empty for stages that actually ran).  Events merged back from
+    a process-pool or distributed worker carry the worker's identity
+    after an ``@`` (``"disk@pid1234"``); :func:`origin_kind` strips the
+    tag.
     """
 
     stage: str
@@ -61,9 +63,9 @@ class StageEvent:
 
 
 def origin_kind(origin: str) -> str:
-    """The cache tier of an event origin — ``"memory"``, ``"disk"``, or
-    ``""`` (executed) — with any ``@worker`` tag from a parallel backend
-    stripped."""
+    """The cache tier of an event origin — ``"memory"``, ``"disk"``,
+    ``"remote"``, or ``""`` (executed) — with any ``@worker`` tag from a
+    parallel backend stripped."""
     return origin.split("@", 1)[0]
 
 
@@ -138,10 +140,12 @@ class FlowTrace:
         executed = self.executed_counts()
         mem = self.cached_counts_by_origin("memory")
         disk = self.cached_counts_by_origin("disk")
+        remote = self.cached_counts_by_origin("remote")
         seconds = self.seconds_by_stage()
         rows = []
         for name in stage_names():
-            if name not in executed and name not in mem and name not in disk:
+            if (name not in executed and name not in mem
+                    and name not in disk and name not in remote):
                 continue
             rows.append(
                 (
@@ -149,21 +153,25 @@ class FlowTrace:
                     executed.get(name, 0),
                     mem.get(name, 0),
                     disk.get(name, 0),
+                    remote.get(name, 0),
                     f"{seconds.get(name, 0.0) * 1e3:.2f}",
                 )
             )
         rows.append(("total", sum(executed.values()), sum(mem.values()),
-                     sum(disk.values()), f"{self.total_seconds() * 1e3:.2f}"))
+                     sum(disk.values()), sum(remote.values()),
+                     f"{self.total_seconds() * 1e3:.2f}"))
         table = ascii_table(
-            ["stage", "runs", "mem hits", "disk hits", "time (ms)"],
+            ["stage", "runs", "mem hits", "disk hits", "remote hits",
+             "time (ms)"],
             rows,
             title="Flow trace",
         )
-        n_hits = sum(mem.values()) + sum(disk.values())
+        n_hits = sum(mem.values()) + sum(disk.values()) + sum(remote.values())
         return table + (
             f"\ncache hit rate: {self.hit_rate() * 100:.1f}% "
             f"({n_hits}/{len(self.events)} stage lookups; "
-            f"{sum(mem.values())} memory, {sum(disk.values())} disk)"
+            f"{sum(mem.values())} memory, {sum(disk.values())} disk, "
+            f"{sum(remote.values())} remote)"
         )
 
 

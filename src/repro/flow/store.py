@@ -103,53 +103,6 @@ def touch_file(path) -> None:
         pass
 
 
-class Heartbeat:
-    """Background thread that keeps a set of files' mtimes fresh.
-
-    Liveness in the distributed executor is mtime-based: a worker's
-    heartbeat file and its current job's lease file must keep moving or
-    the broker declares the worker dead and requeues the job.  A worker
-    spends its time inside long single-threaded stage computations, so
-    the touching has to happen off-thread — ``add`` the lease when a job
-    starts, ``discard`` it when the job ends, ``stop`` on shutdown.
-    """
-
-    def __init__(self, interval_seconds: float = 1.0) -> None:
-        self.interval_seconds = interval_seconds
-        self._paths: set = set()
-        self._lock = threading.Lock()
-        self._stop = threading.Event()
-        self._thread: Optional[threading.Thread] = None
-
-    def add(self, path) -> None:
-        with self._lock:
-            self._paths.add(str(path))
-        touch_file(str(path))
-
-    def discard(self, path) -> None:
-        with self._lock:
-            self._paths.discard(str(path))
-
-    def start(self) -> "Heartbeat":
-        if self._thread is None:
-            self._thread = threading.Thread(target=self._run, daemon=True)
-            self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-
-    def _run(self) -> None:
-        while not self._stop.wait(self.interval_seconds):
-            with self._lock:
-                paths = list(self._paths)
-            for path in paths:
-                touch_file(path)
-
-
 #: a cache hit: the entry plus where it came from ("memory" or "disk")
 Hit = Tuple[Entry, str]
 
@@ -290,6 +243,10 @@ class DiskStageCache:
         self.misses = 0
         self.memory_hits = 0
         self.disk_hits = 0
+        #: always 0 locally — a disk cache has no remote tier — but
+        #: present so deltas merged from TCP workers (whose
+        #: RemoteStageCache fetches entries over the wire) fold in
+        self.remote_hits = 0
         self.put_errors = 0
 
     # -- paths ---------------------------------------------------------------
@@ -378,18 +335,80 @@ class DiskStageCache:
         except Exception:
             with self._lock:
                 self.put_errors += 1
-        if self.max_bytes is not None:
-            with self._lock:
-                self._disk_bytes_estimate += written
-                over_budget = self._disk_bytes_estimate > self.max_bytes
-            if over_budget:
-                self.gc(self.max_bytes)
+        self._account_disk_write(written)
+
+    def _account_disk_write(self, written: int) -> None:
+        """Bump the running footprint estimate and gc when over budget —
+        shared by :meth:`put` and :meth:`import_entry`."""
+        if self.max_bytes is None:
+            return
+        with self._lock:
+            self._disk_bytes_estimate += written
+            over_budget = self._disk_bytes_estimate > self.max_bytes
+        if over_budget:
+            self.gc(self.max_bytes)
+
+    # -- serialized entry transfer -------------------------------------------
+    #
+    # How cache entries cross a *network* boundary: the TCP transport's
+    # broker exports entries for workers that do not mount the cache
+    # directory, and imports the entries those workers compute.  Neither
+    # side touches the hit/miss counters — transfers are plumbing, not
+    # flow lookups.
+    def export_entry(self, key: str) -> Optional[bytes]:
+        """The entry's serialized (pickle) form, or None if absent or
+        unpicklable.  Disk entries ship as their file bytes (no
+        re-pickling); memory-only entries are pickled on demand."""
+        try:
+            with open(self._path(key), "rb") as f:
+                return f.read()
+        except OSError:
+            pass
+        with self._lock:
+            entry = self._mem.get(key)
+        if entry is None:
+            return None
+        try:
+            return pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return None
+
+    def import_entry(self, key: str, data: bytes) -> Optional[Entry]:
+        """Install a serialized entry received from elsewhere; returns
+        the decoded entry, or None (and stores nothing) if ``data`` does
+        not decode to an entry dict — a corrupt import must read as a
+        miss, never poison the store."""
+        try:
+            entry = pickle.loads(data)
+            if not isinstance(entry, dict):
+                raise pickle.UnpicklingError("cache entry is not a dict")
+        except Exception:
+            return None
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        written = 0
+        try:
+            old_size = 0
+            try:
+                old_size = os.path.getsize(path)  # overwriting an entry
+            except OSError:
+                pass
+            atomic_write_bytes(path, data)
+            written = len(data) - old_size
+        except OSError:
+            pass  # memory layer still serves it this process's lifetime
+        with self._lock:
+            self._mem[key] = entry
+        # imported bytes count against the byte budget exactly like
+        # put(): a broker fed entirely over the wire must still gc
+        self._account_disk_write(written)
+        return entry
 
     def clear(self) -> None:
         with self._lock:
             self._mem.clear()
             self.hits = self.misses = 0
-            self.memory_hits = self.disk_hits = 0
+            self.memory_hits = self.disk_hits = self.remote_hits = 0
             self.put_errors = 0
             self._disk_bytes_estimate = 0
         for path in list(self._entry_files()):
@@ -414,6 +433,7 @@ class DiskStageCache:
                 "hits": self.hits,
                 "memory_hits": self.memory_hits,
                 "disk_hits": self.disk_hits,
+                "remote_hits": self.remote_hits,
                 "misses": self.misses,
                 "put_errors": self.put_errors,
             }
@@ -577,6 +597,7 @@ class DiskStageCache:
             self.hits += stats.get("hits", 0)
             self.memory_hits += stats.get("memory_hits", 0)
             self.disk_hits += stats.get("disk_hits", 0)
+            self.remote_hits += stats.get("remote_hits", 0)
             self.misses += stats.get("misses", 0)
             self.put_errors += stats.get("put_errors", 0)
 

@@ -1,0 +1,589 @@
+"""TCP transport: transport-conformance contract (spool, memory, TCP),
+broker server auth, remote cache tiering, TCP worker/executor
+end-to-end equivalence, and the worker CLI failure paths."""
+
+import os
+import socket
+import time
+
+import pytest
+
+from repro.apps.helmholtz import HELMHOLTZ_DSL
+from repro.errors import SystemGenerationError
+from repro.flow import (
+    DiskStageCache,
+    FlowOptions,
+    FlowTrace,
+    SystemOptions,
+    compile_many,
+)
+from repro.flow.distributed import (
+    BrokerUnreachableError,
+    DistributedExecutor,
+    SpoolTransport,
+    Transport,
+    TransportClosedError,
+)
+from repro.flow.nettransport import (
+    BrokerAuthError,
+    BrokerServer,
+    MemoryTransport,
+    RemoteStageCache,
+    TcpTransport,
+    parse_hostport,
+    recv_frame,
+    run_tcp_worker,
+    send_frame,
+)
+
+TOKEN = "conformance-secret"
+
+
+def message(job_id, index=0, source=HELMHOLTZ_DSL, options=None, attempt=0):
+    return {
+        "id": job_id,
+        "index": index,
+        "source": source,
+        "options": options,
+        "attempt": attempt,
+    }
+
+
+class Control:
+    """Transport-specific clock manipulation for the conformance suite:
+    how a test simulates "this lease/worker stopped heartbeating long
+    ago" without waiting out a real staleness window."""
+
+    def __init__(self, age_lease, age_worker):
+        self.age_lease = age_lease
+        self.age_worker = age_worker
+
+
+# -- the Transport contract ---------------------------------------------------
+class TransportConformance:
+    """The semantics every :class:`Transport` must provide, pinned once
+    and run against each implementation: exactly-once claiming in
+    sorted-id order, lease heartbeat/expiry/requeue, pending-job
+    cancellation, batch tombstones, result consumption, and worker
+    liveness.  A future transport (Redis, ...) subclasses this with a
+    ``rig`` fixture and inherits the whole suite.
+    """
+
+    @pytest.fixture
+    def rig(self, tmp_path):
+        raise NotImplementedError  # pragma: no cover
+
+    def test_satisfies_transport_protocol(self, rig):
+        transport, _ = rig
+        assert isinstance(transport, Transport)
+
+    def test_put_claim_complete_roundtrip(self, rig):
+        transport, _ = rig
+        transport.put_job(message("b-00000", index=7))
+        claimed = transport.claim_job()
+        assert claimed["id"] == "b-00000" and claimed["index"] == 7
+        assert transport.claim_job() is None  # leased, not re-claimable
+        transport.complete("b-00000", {"id": "b-00000", "outcome": 42})
+        assert transport.take_result("b-00000")["outcome"] == 42
+        assert transport.take_result("b-00000") is None  # consumed
+        assert transport.expired_leases(0.0) == []  # lease dropped
+
+    def test_claims_in_sorted_id_order(self, rig):
+        transport, _ = rig
+        transport.put_job(message("b-00002", index=2))
+        transport.put_job(message("b-00000", index=0))
+        transport.put_job(message("b-00001", index=1))
+        claimed = [transport.claim_job()["id"] for _ in range(3)]
+        assert claimed == ["b-00000", "b-00001", "b-00002"]
+
+    def test_lease_expiry_heartbeat_and_requeue(self, rig):
+        transport, control = rig
+        transport.put_job(message("b-00000"))
+        job = transport.claim_job()
+        assert transport.expired_leases(30.0) == []  # fresh lease
+        control.age_lease(transport, "b-00000", 3600.0)
+        assert transport.expired_leases(30.0) == ["b-00000"]
+        transport.heartbeat_job("b-00000")  # a live worker touched it
+        assert transport.expired_leases(30.0) == []
+        # the broker's requeue path: release, re-put, claim again
+        control.age_lease(transport, "b-00000", 3600.0)
+        transport.release(job["id"])
+        job["attempt"] = 1
+        transport.put_job(job)
+        reclaimed = transport.claim_job()
+        assert reclaimed["id"] == "b-00000" and reclaimed["attempt"] == 1
+
+    def test_heartbeat_of_unclaimed_job_is_harmless(self, rig):
+        transport, _ = rig
+        transport.heartbeat_job("never-claimed-00000")
+        assert transport.expired_leases(0.0) == []
+
+    def test_cancel_pending_skips_claimed_jobs(self, rig):
+        transport, _ = rig
+        transport.put_job(message("b-00000"))
+        transport.put_job(message("b-00001", index=1))
+        transport.claim_job()  # b-00000 leased
+        cancelled = transport.cancel_pending({"b-00000", "b-00001"})
+        assert cancelled == {"b-00001"}
+        assert transport.claim_job() is None  # queue scrubbed
+
+    def test_batch_tombstone_blocks_straggler_results(self, rig):
+        transport, _ = rig
+        transport.put_job(message("batchA-00000"))
+        transport.claim_job()
+        assert not transport.batch_done("batchA-00000")
+        transport.mark_batch_done("batchA")
+        assert transport.batch_done("batchA-00000")
+        transport.complete("batchA-00000", {"id": "batchA-00000", "outcome": 1})
+        assert transport.take_result("batchA-00000") is None  # dropped
+        assert transport.expired_leases(0.0) == []  # lease cleaned up
+        # other batches are unaffected
+        transport.put_job(message("batchB-00000"))
+        transport.claim_job()
+        transport.complete("batchB-00000", {"id": "batchB-00000", "outcome": 2})
+        assert transport.take_result("batchB-00000")["outcome"] == 2
+
+    def test_worker_liveness(self, rig):
+        transport, control = rig
+        assert transport.alive_workers(60.0) == []
+        transport.heartbeat_worker("w1")
+        assert transport.alive_workers(60.0) == ["w1"]
+        control.age_worker(transport, "w1", 3600.0)
+        assert transport.alive_workers(60.0) == []
+        transport.heartbeat_worker("w1")
+        transport.unregister_worker("w1")
+        assert transport.alive_workers(60.0) == []
+
+
+def _spool_age_lease(transport, job_id, seconds):
+    path = transport.lease_dir / (job_id + ".json")
+    stale = time.time() - seconds
+    os.utime(path, (stale, stale))
+
+
+def _spool_age_worker(transport, worker_id, seconds):
+    path = transport.worker_heartbeat_path(worker_id)
+    stale = time.time() - seconds
+    os.utime(path, (stale, stale))
+
+
+class TestSpoolConformance(TransportConformance):
+    @pytest.fixture
+    def rig(self, tmp_path):
+        yield (
+            SpoolTransport(tmp_path / "spool"),
+            Control(_spool_age_lease, _spool_age_worker),
+        )
+
+
+class TestMemoryConformance(TransportConformance):
+    @pytest.fixture
+    def rig(self, tmp_path):
+        transport = MemoryTransport()
+        yield (
+            transport,
+            Control(
+                lambda t, job, s: t._age_lease(job, s),
+                lambda t, worker, s: t._age_worker(worker, s),
+            ),
+        )
+
+
+class TestTcpConformance(TransportConformance):
+    """The full contract over the wire: a TcpTransport client proxy
+    against a live BrokerServer (whose state is a MemoryTransport — the
+    control hooks age *that*, the far side of the connection)."""
+
+    @pytest.fixture
+    def rig(self, tmp_path):
+        server = BrokerServer("127.0.0.1", 0, TOKEN)
+        client = TcpTransport(server.address, TOKEN).connect()
+        try:
+            yield (
+                client,
+                Control(
+                    lambda t, job, s: server.transport._age_lease(job, s),
+                    lambda t, worker, s: server.transport._age_worker(
+                        worker, s
+                    ),
+                ),
+            )
+        finally:
+            client.close()
+            server.close()
+
+
+# -- broker server specifics --------------------------------------------------
+class TestBrokerServer:
+    def test_rejects_bad_token(self):
+        with BrokerServer("127.0.0.1", 0, TOKEN) as server:
+            with pytest.raises(BrokerAuthError, match="rejected"):
+                TcpTransport(
+                    server.address, "wrong-token", connect_retries=1
+                ).connect()
+
+    def test_requires_a_token(self):
+        with pytest.raises(SystemGenerationError, match="token"):
+            BrokerServer("127.0.0.1", 0, "")
+
+    def test_rejects_protocol_version_mismatch(self):
+        # a future v2 client must get a clear error at hello time, not
+        # an authenticated connection that dies on the first frame
+        with BrokerServer("127.0.0.1", 0, TOKEN) as server:
+            with socket.create_connection(server.address, timeout=5.0) as s:
+                send_frame(s, {"op": "hello", "token": TOKEN,
+                               "role": "client", "version": 999})
+                reply = recv_frame(s, allow_pickle=False)
+        assert not reply["ok"]
+        assert "version mismatch" in reply["error"]
+
+    def test_rejects_pickle_frame_before_auth(self):
+        # an unauthenticated peer must never reach the unpickler
+        with BrokerServer("127.0.0.1", 0, TOKEN) as server:
+            with socket.create_connection(server.address, timeout=5.0) as s:
+                send_frame(s, {"evil": True}, pickled=True)
+                with pytest.raises(TransportClosedError):
+                    recv_frame(s, allow_pickle=False)
+
+    def test_dropped_connection_unregisters_worker(self):
+        with BrokerServer("127.0.0.1", 0, TOKEN) as server:
+            worker = TcpTransport(
+                server.address, TOKEN, role="worker", worker_id="w1"
+            ).connect()
+            worker.heartbeat_worker("w1")
+            assert server.transport.alive_workers(60.0) == ["w1"]
+            worker.close()
+            deadline = time.monotonic() + 5.0
+            while (server.transport.alive_workers(60.0)
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert server.transport.alive_workers(60.0) == []
+
+    def test_lost_connection_stays_lost(self):
+        """Once connected, a dropped broker reads as TransportClosedError
+        on every later call — never a reconnect-retry stall ending in
+        BrokerUnreachableError.  This is what lets a worker whose pulse
+        thread noticed the drop first still exit cleanly."""
+        server = BrokerServer("127.0.0.1", 0, TOKEN)
+        client = TcpTransport(server.address, TOKEN).connect()
+        server.close()
+        with pytest.raises(TransportClosedError):
+            client.claim_job()
+        t0 = time.monotonic()
+        with pytest.raises(TransportClosedError):  # and again, instantly
+            client.claim_job()
+        assert time.monotonic() - t0 < 1.0
+
+    def test_listen_on_taken_port_is_a_clean_error(self):
+        with BrokerServer("127.0.0.1", 0, TOKEN) as server:
+            with pytest.raises(SystemGenerationError, match="cannot serve"):
+                BrokerServer(*server.address, TOKEN)
+
+    def test_unreachable_broker_fails_bounded(self):
+        with socket.socket() as s:  # grab a port nobody is serving
+            s.bind(("127.0.0.1", 0))
+            address = s.getsockname()[:2]
+        t0 = time.monotonic()
+        with pytest.raises(BrokerUnreachableError, match="cannot reach"):
+            TcpTransport(
+                address, TOKEN, connect_retries=3, retry_delay=0.05
+            ).connect()
+        assert time.monotonic() - t0 < 10.0
+
+    def test_parse_hostport(self):
+        assert parse_hostport("127.0.0.1:8765") == ("127.0.0.1", 8765)
+        assert parse_hostport("[::1]:1") == ("[::1]", 1)
+        for bad in ("nope", "host:", ":123", "host:abc"):
+            with pytest.raises(SystemGenerationError, match="HOST:PORT"):
+                parse_hostport(bad)
+
+    def test_cache_rpcs_roundtrip_entries(self, tmp_path):
+        cache = DiskStageCache(tmp_path / "broker-cache")
+        cache.put("key1", {"artifact": [1, 2, 3]})
+        with BrokerServer("127.0.0.1", 0, TOKEN, cache) as server:
+            client = TcpTransport(server.address, TOKEN).connect()
+            try:
+                data = client.cache_fetch("key1")
+                assert data is not None
+                assert client.cache_fetch("missing") is None
+                client.cache_put("key2", data)
+            finally:
+                client.close()
+        assert cache.peek("key2")[0] == {"artifact": [1, 2, 3]}
+
+
+# -- worker-side remote cache -------------------------------------------------
+class _BrokerGoneTransport:
+    def cache_fetch(self, key):
+        raise TransportClosedError("broker gone")
+
+    def cache_put(self, key, data):
+        raise TransportClosedError("broker gone")
+
+
+class TestRemoteStageCache:
+    @pytest.fixture
+    def rig(self, tmp_path):
+        broker_cache = DiskStageCache(tmp_path / "broker")
+        server = BrokerServer("127.0.0.1", 0, TOKEN, broker_cache)
+        transport = TcpTransport(server.address, TOKEN).connect()
+        cache = RemoteStageCache(
+            DiskStageCache(tmp_path / "worker"), transport
+        )
+        try:
+            yield broker_cache, cache
+        finally:
+            transport.close()
+            server.close()
+
+    def test_remote_hit_imports_locally(self, rig):
+        broker_cache, cache = rig
+        broker_cache.put("k", {"v": 1})
+        entry, origin = cache.fetch("k")
+        assert entry == {"v": 1} and origin == "remote"
+        assert cache.counters()["remote_hits"] == 1
+        # imported: the re-fetch is a local memory hit, no wire trip
+        entry, origin = cache.fetch("k")
+        assert origin == "memory"
+        assert cache.counters()["remote_hits"] == 1
+
+    def test_miss_counts_once(self, rig):
+        _, cache = rig
+        assert cache.fetch("absent") is None
+        assert cache.counters()["misses"] == 1
+        assert cache.peek("absent") is None  # peek never counts
+        assert cache.counters()["misses"] == 1
+
+    def test_put_ships_to_broker(self, rig):
+        broker_cache, cache = rig
+        cache.put("k", {"v": 2})
+        assert broker_cache.peek("k")[0] == {"v": 2}
+
+    def test_degrades_to_local_when_broker_gone(self, tmp_path):
+        cache = RemoteStageCache(
+            DiskStageCache(tmp_path), _BrokerGoneTransport()
+        )
+        cache.put("k", {"v": 3})  # the failed ship must not raise
+        assert cache.fetch("k")[0] == {"v": 3}
+        assert cache.fetch("absent") is None  # fetch degrades to a miss
+
+
+# -- end-to-end: TCP worker + executor ---------------------------------------
+GRID = [
+    (HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=k, m=m)))
+    for k, m in ((1, 1), (2, 2), (4, 4))
+]
+
+
+def result_signature(results):
+    return [
+        (
+            r.kernel.source,
+            r.hls.summary(),
+            r.memory.brams,
+            (r.system.k, r.system.m),
+            r.system.resources,
+            r.sim.total_cycles,
+        )
+        for r in results
+    ]
+
+
+class TestTcpWorkerLoop:
+    def test_worker_drains_broker_queue(self, tmp_path):
+        broker_cache = DiskStageCache(tmp_path / "broker")
+        with BrokerServer("127.0.0.1", 0, TOKEN, broker_cache) as server:
+            opts = FlowOptions(system=SystemOptions(k=2, m=2))
+            server.transport.put_job(message("b-00000", index=0))
+            server.transport.put_job(
+                message("b-00001", index=1, options=opts.to_spec())
+            )
+            handled = run_tcp_worker(
+                server.address, TOKEN, tmp_path / "local",
+                max_jobs=2, worker_id="w-tcp",
+            )
+            assert handled == 2
+            r0 = server.transport.take_result("b-00000")
+            r1 = server.transport.take_result("b-00001")
+        assert r0["worker"] == "w-tcp"
+        assert r0["outcome"].system.k == 16  # default: maximize k
+        assert r1["outcome"].system.k == 2
+        assert all("@w-tcp" in e[3] for e in r0["events"])
+        # the entries the worker computed landed in the broker's cache
+        assert broker_cache.stats()["disk_entries"] > 0
+
+    def test_worker_exits_cleanly_when_broker_vanishes(self, tmp_path):
+        server = BrokerServer("127.0.0.1", 0, TOKEN)
+        import threading
+
+        threading.Timer(0.5, server.close).start()
+        handled = run_tcp_worker(
+            server.address, TOKEN, tmp_path / "local",
+            poll_seconds=0.02,
+        )
+        assert handled == 0  # no traceback, no hang: a clean exit
+
+
+class TestTcpExecutor:
+    def test_matches_serial_bit_identical(self, tmp_path):
+        """Acceptance: broker + 2 TCP workers with no shared spool dir
+        produce results bit-identical to the serial backend."""
+        serial = compile_many(GRID, executor="serial")
+        executor = DistributedExecutor(listen=("127.0.0.1", 0), token=TOKEN)
+        tcp = compile_many(
+            GRID, jobs=2, executor=executor,
+            cache=DiskStageCache(tmp_path / "cache"),
+        )
+        assert result_signature(serial) == result_signature(tcp)
+
+    def test_warm_broker_cache_serves_front_end_remotely(self, tmp_path):
+        """Second run against the same broker cache dir: fresh workers
+        with no shared mount must serve the whole front end as remote
+        hits (this is what the CI smoke test asserts via
+        --expect-front-end-cached)."""
+        from repro.flow.stages import FRONT_END_STAGES
+
+        cache_dir = tmp_path / "cache"
+        compile_many(
+            GRID[:2], jobs=2, cache=DiskStageCache(cache_dir),
+            executor=DistributedExecutor(listen=("127.0.0.1", 0), token=TOKEN),
+        )
+        trace = FlowTrace()
+        compile_many(
+            GRID[:2], jobs=2, cache=DiskStageCache(cache_dir), trace=trace,
+            executor=DistributedExecutor(listen=("127.0.0.1", 0), token=TOKEN),
+        )
+        executed = trace.executed_counts()
+        assert not any(executed.get(s) for s in FRONT_END_STAGES)
+        assert sum(trace.cached_counts_by_origin("remote").values()) > 0
+
+    def test_remote_hits_merge_into_parent_cache_stats(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        compile_many(
+            GRID[:1], jobs=1, cache=DiskStageCache(cache_dir),
+            executor=DistributedExecutor(listen=("127.0.0.1", 0), token=TOKEN),
+        )
+        cache = DiskStageCache(cache_dir)
+        compile_many(
+            GRID[:1], jobs=1, cache=cache,
+            executor=DistributedExecutor(listen=("127.0.0.1", 0), token=TOKEN),
+        )
+        assert cache.stats()["remote_hits"] > 0
+
+    def test_submitter_attaches_to_standing_broker(self, tmp_path):
+        """The `cfdlang-flow broker` deployment shape: a standing broker
+        owns queue + cache; the sweep attaches as a remote submitter and
+        its spawned workers connect to the same address."""
+        broker_cache = DiskStageCache(tmp_path / "broker")
+        with BrokerServer("127.0.0.1", 0, TOKEN, broker_cache) as server:
+            executor = DistributedExecutor(broker=server.address, token=TOKEN)
+            results = compile_many(
+                GRID[:2], jobs=2, executor=executor,
+                cache=DiskStageCache(tmp_path / "submitter"),
+            )
+            assert [r.system.k for r in results] == [1, 2]
+            # the standing broker's cache is the one that warmed
+            assert broker_cache.stats()["disk_entries"] > 0
+
+    def test_spawned_workers_get_an_executor_owned_cache_tier(self):
+        """Spawned TCP workers must be handed a --cache-dir under the
+        executor's temp root: reaping sends SIGTERM, so a worker-side
+        mkdtemp would leak its directory on every sweep."""
+        executor = DistributedExecutor(listen=("127.0.0.1", 0), token=TOKEN)
+        try:
+            executor._set_tcp_spawn_plan(("127.0.0.1", 1))
+            argv_tail, _, _ = executor._spawn_plan
+            cache_dir = argv_tail[argv_tail.index("--cache-dir") + 1]
+            assert cache_dir.startswith(executor._tmp_worker_root)
+        finally:
+            executor.cleanup()
+        assert not os.path.exists(os.path.dirname(cache_dir))
+
+    def test_mode_flags_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemGenerationError, match="one queue mode"):
+            DistributedExecutor(
+                queue_dir=tmp_path, listen=("127.0.0.1", 0), token=TOKEN
+            )
+
+
+class TestWorkerCliFailurePaths:
+    def test_missing_spool_dir_is_a_one_line_error(self, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        rc = main(["worker", "--queue", str(tmp_path / "nope"),
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no spool directory" in err
+        assert "Traceback" not in err and err.count("\n") == 1
+
+    def test_queue_without_cache_dir_is_rejected(self, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        (tmp_path / "spool").mkdir()
+        rc = main(["worker", "--queue", str(tmp_path / "spool")])
+        assert rc == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_unreachable_broker_is_a_one_line_error(self, monkeypatch,
+                                                    capsys):
+        from repro.flow import nettransport
+        from repro.flow.cli import main
+
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            host, port = s.getsockname()[:2]
+        original = nettransport.TcpTransport
+
+        def fast_transport(*args, **kwargs):
+            kwargs.update(connect_retries=2, retry_delay=0.05)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(nettransport, "TcpTransport", fast_transport)
+        rc = main(["worker", "--connect", f"{host}:{port}",
+                   "--token", TOKEN])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot reach broker" in err
+        assert "Traceback" not in err and err.count("\n") == 1
+
+    def test_connect_without_token_is_a_one_line_error(self, monkeypatch,
+                                                       capsys):
+        from repro.flow.cli import main
+        from repro.flow.nettransport import TOKEN_ENV
+
+        monkeypatch.delenv(TOKEN_ENV, raising=False)
+        rc = main(["worker", "--connect", "127.0.0.1:1"])
+        assert rc == 2
+        assert "token" in capsys.readouterr().err
+
+    def test_queue_and_connect_are_mutually_exclusive(self, tmp_path):
+        from repro.flow.cli import build_worker_parser
+
+        with pytest.raises(SystemExit):
+            build_worker_parser().parse_args(
+                ["--queue", "q", "--connect", "h:1"]
+            )
+
+
+class TestBrokerCli:
+    def test_parser_requires_listen_and_cache(self):
+        from repro.flow.cli import build_broker_parser
+
+        with pytest.raises(SystemExit):
+            build_broker_parser().parse_args([])
+        args = build_broker_parser().parse_args(
+            ["--listen", "127.0.0.1:0", "--token", "t", "--cache-dir", "c"]
+        )
+        assert args.listen == "127.0.0.1:0"
+
+    def test_broker_without_token_is_a_one_line_error(self, tmp_path,
+                                                      monkeypatch, capsys):
+        from repro.flow.cli import main
+        from repro.flow.nettransport import TOKEN_ENV
+
+        monkeypatch.delenv(TOKEN_ENV, raising=False)
+        rc = main(["broker", "--listen", "127.0.0.1:0",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "token" in capsys.readouterr().err

@@ -240,6 +240,62 @@ class TestDiskStageCache:
         assert s["put_errors"] == 1
 
 
+class TestEntryTransfer:
+    """Serialized entry export/import: how cache entries cross a network
+    boundary for workers without the shared mount."""
+
+    def test_export_import_roundtrip(self, tmp_path):
+        src = DiskStageCache(tmp_path / "a")
+        dst = DiskStageCache(tmp_path / "b")
+        src.put("key1", {"artifact": [1, 2, 3]})
+        data = src.export_entry("key1")
+        assert isinstance(data, bytes)
+        assert dst.import_entry("key1", data) == {"artifact": [1, 2, 3]}
+        # durable on the destination: a fresh instance disk-hits it
+        fresh = DiskStageCache(tmp_path / "b")
+        entry, origin = fresh.fetch("key1")
+        assert entry == {"artifact": [1, 2, 3]} and origin == "disk"
+
+    def test_export_of_absent_key_is_none(self, tmp_path):
+        assert DiskStageCache(tmp_path).export_entry("missing") is None
+
+    def test_export_of_memory_only_entry(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        cache.put("key1", {"v": 1})
+        cache._path("key1").unlink()  # disk copy gone: memory serves it
+        data = cache.export_entry("key1")
+        assert data is not None
+        other = DiskStageCache(tmp_path / "other")
+        assert other.import_entry("key1", data) == {"v": 1}
+
+    def test_import_of_garbage_is_rejected(self, tmp_path):
+        cache = DiskStageCache(tmp_path)
+        assert cache.import_entry("key1", b"not a pickle") is None
+        assert cache.import_entry("key2", pickle.dumps([1, 2])) is None
+        assert cache.fetch("key1") is None  # nothing was poisoned
+        assert cache.stats()["disk_entries"] == 0
+
+    def test_transfer_does_not_touch_counters(self, tmp_path):
+        src = DiskStageCache(tmp_path / "a")
+        dst = DiskStageCache(tmp_path / "b")
+        src.put("key1", {"v": 1})
+        before_src, before_dst = src.counters(), dst.counters()
+        dst.import_entry("key1", src.export_entry("key1"))
+        assert src.counters() == before_src
+        assert dst.counters() == before_dst
+
+    def test_import_respects_byte_budget(self, tmp_path):
+        """A broker cache fed entirely over the wire (every entry lands
+        via import_entry, never put) must still gc to max_bytes."""
+        src = DiskStageCache(tmp_path / "a")
+        for i in range(8):
+            src.put(f"key{i:02d}", {"blob": b"x" * 4096})
+        dst = DiskStageCache(tmp_path / "b", max_bytes=10_000)
+        for i in range(8):
+            dst.import_entry(f"key{i:02d}", src.export_entry(f"key{i:02d}"))
+        assert dst.disk_bytes() <= 10_000
+
+
 class TestLockFileLifecycle:
     """Stale single-flight locks used to survive clear/gc/verify, making
     the next sweep's first touch of that key stall for the whole stale
