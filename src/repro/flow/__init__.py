@@ -35,8 +35,10 @@ from repro.flow.store import (
     CacheBackend,
     DiskStageCache,
     FileSingleFlight,
+    NamespacedStageCache,
     SingleFlight,
     StageCache,
+    namespaced_key,
 )
 from repro.flow.executors import (
     Executor,
@@ -62,6 +64,15 @@ from repro.flow.nettransport import (
     RemoteStageCache,
     TcpTransport,
     run_tcp_worker,
+)
+from repro.flow.service import (
+    BrokerBusyError,
+    JobService,
+    ServiceClient,
+    ServiceExecutor,
+    SweepJob,
+    UnknownJobError,
+    attach_job,
 )
 from repro.flow.artifacts import write_artifacts
 
@@ -95,6 +106,15 @@ __all__ = [
     "TransportClosedError",
     "BrokerUnreachableError",
     "BrokerAuthError",
+    "BrokerBusyError",
+    "UnknownJobError",
+    "JobService",
+    "ServiceClient",
+    "ServiceExecutor",
+    "SweepJob",
+    "attach_job",
+    "NamespacedStageCache",
+    "namespaced_key",
     "run_worker",
     "run_tcp_worker",
     "executor_names",

@@ -14,7 +14,13 @@
     cfdlang-flow worker --queue /mnt/spool --cache-dir /mnt/flowcache
     cfdlang-flow worker --connect broker-host:8765 --token SECRET
     cfdlang-flow broker --listen 0.0.0.0:8765 --token SECRET \\
-        --cache-dir /srv/flowcache
+        --cache-dir /srv/flowcache --tenant alice=S1 --tenant bob=S2
+    cfdlang-flow broker --listen broker-host:8765 --token SECRET --status
+    cfdlang-flow submit --broker broker-host:8765 --token SECRET \\
+        --app helmholtz --sweep 1x1,2x2,4x4
+    cfdlang-flow status --broker broker-host:8765 --token SECRET JOB_ID
+    cfdlang-flow fetch --broker broker-host:8765 --token SECRET JOB_ID --wait
+    cfdlang-flow cancel --broker broker-host:8765 --token SECRET JOB_ID
     cfdlang-flow cache stats --cache-dir .flowcache
     cfdlang-flow cache gc --cache-dir .flowcache --max-bytes 256M --max-age 7d
 """
@@ -81,7 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "CPU-bound sweeps across cores through a disk cache; "
                         "'distributed' spools jobs to worker processes (see "
                         "the 'worker' subcommand) and scales across hosts; "
-                        "'serial' is the in-order reference")
+                        "'service' submits the sweep as a durable job on a "
+                        "standing broker (--broker; see also the 'submit' "
+                        "verb); 'serial' is the in-order reference")
     p.add_argument("--queue", default=None, metavar="DIR",
                    help="spool directory for --executor distributed: use a "
                         "standing queue that external 'cfdlang-flow worker' "
@@ -93,9 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "join with 'cfdlang-flow worker --connect HOST:PORT' "
                         "and need no shared filesystem (requires --token)")
     p.add_argument("--broker", default=None, metavar="HOST:PORT",
-                   help="with --executor distributed: submit the sweep to a "
-                        "standing 'cfdlang-flow broker' at this address "
-                        "instead of running a queue here (requires --token)")
+                   help="with --executor distributed or service: run the "
+                        "sweep against the standing 'cfdlang-flow broker' "
+                        "at this address instead of running a queue here "
+                        "(requires --token)")
     p.add_argument("--token", default=None, metavar="SECRET",
                    help="shared-secret token for --listen/--broker "
                         "(or set CFDLANG_FLOW_TOKEN)")
@@ -323,35 +332,107 @@ def _worker_main(argv) -> int:
 def build_broker_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="cfdlang-flow broker",
-        description="serve a standing distributed-sweep job queue and stage "
-                    "cache over TCP; sweeps attach with --broker HOST:PORT, "
-                    "workers with 'worker --connect HOST:PORT'",
+        description="serve a standing compile service over TCP: sweeps "
+                    "attach with --broker HOST:PORT, workers with 'worker "
+                    "--connect HOST:PORT', and the submit/status/fetch/"
+                    "cancel verbs drive durable jobs by id",
     )
     p.add_argument("--listen", required=True, metavar="HOST:PORT",
-                   help="address to bind (port 0 picks an ephemeral port)")
+                   help="address to bind (':0' or port 0 picks an ephemeral "
+                        "port; the bound address is printed on stdout)")
     p.add_argument("--token", default=None, metavar="SECRET",
                    help="shared-secret token clients must present "
                         "(or set CFDLANG_FLOW_TOKEN)")
     p.add_argument("--cache-dir", required=True, metavar="DIR",
                    help="the broker-side stage cache served to workers")
+    p.add_argument("--service-dir", default=None, metavar="DIR",
+                   help="where durable job specs/results live (default: "
+                        "<cache-dir>/.service); a broker restarted over the "
+                        "same directory resumes its unfinished jobs")
+    p.add_argument("--tenant", action="append", default=[],
+                   metavar="NAME=TOKEN",
+                   help="register an extra tenant token (repeatable); each "
+                        "tenant's jobs and cache entries live in an "
+                        "isolated namespace of the shared store")
+    p.add_argument("--max-jobs", type=int, default=16, metavar="N",
+                   help="refuse submits beyond N unfinished jobs total "
+                        "(BrokerBusyError backpressure; default 16)")
+    p.add_argument("--max-tenant-jobs", type=int, default=8, metavar="N",
+                   help="refuse submits beyond N unfinished jobs for one "
+                        "token (default 8)")
+    p.add_argument("--status", action="store_true",
+                   help="query the broker already listening at --listen and "
+                        "print queue depth, jobs by state, workers, and "
+                        "cache counters instead of serving")
     return p
+
+
+def _parse_tenants(specs) -> dict:
+    tenants = {}
+    for spec in specs:
+        name, sep, token = str(spec).partition("=")
+        if not sep or not name or not token:
+            raise SystemGenerationError(
+                f"bad --tenant {spec!r}: expected NAME=TOKEN"
+            )
+        tenants[name] = token
+    return tenants
+
+
+def _print_service_stats(stats) -> None:
+    jobs = stats.get("jobs", {})
+    if jobs:
+        states = ", ".join(f"{jobs[s]} {s}" for s in jobs)
+        print(f"jobs: {states}")
+        print(f"queue depth: {stats.get('queue_depth', 0)} point(s) "
+              "unfinished")
+        limits = stats.get("limits", {})
+        if limits:
+            print(f"limits: {limits.get('max_jobs')} jobs total, "
+                  f"{limits.get('max_tenant_jobs')} per token")
+        tenants = stats.get("active_tenants", {})
+        if tenants:
+            active = ", ".join(f"{name}: {n}" for name, n in
+                               sorted(tenants.items()))
+            print(f"active tenants: {active}")
+    workers = stats.get("workers", [])
+    print(f"workers: {len(workers)} alive"
+          + (f" ({', '.join(workers)})" if workers else ""))
+    cache = stats.get("cache")
+    if cache:
+        print(f"cache: {cache['hits']} hits, {cache['misses']} misses, "
+              f"{cache.get('remote_hits', 0)} served remote")
 
 
 def _broker_main(argv) -> int:
     import time
 
     args = build_broker_parser().parse_args(argv)
+    if args.status:
+        from repro.flow.service import ServiceClient
+
+        try:
+            with ServiceClient(args.listen, args.token,
+                               connect_retries=1) as client:
+                stats = client.stats()
+        except SystemGenerationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"broker at {args.listen}:")
+        _print_service_stats(stats)
+        return 0
     try:
-        from repro.flow.nettransport import (
-            BrokerServer,
-            parse_hostport,
-            resolve_token,
-        )
+        from repro.flow.nettransport import parse_hostport, resolve_token
+        from repro.flow.service import start_service_broker
 
         host, port = parse_hostport(args.listen)
-        server = BrokerServer(
+        server = start_service_broker(
             host, port, resolve_token(args.token) or "",
             DiskStageCache(args.cache_dir),
+            args.service_dir,
+            tenants=_parse_tenants(args.tenant),
+            max_jobs=args.max_jobs,
+            max_tenant_jobs=args.max_tenant_jobs,
         )
     except SystemGenerationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -361,6 +442,7 @@ def _broker_main(argv) -> int:
               file=sys.stderr)
         return 2
     bound_host, bound_port = server.address
+    # scripts and tests parse this line to learn the ephemeral port
     print(f"broker listening on {bound_host}:{bound_port} "
           f"(cache: {args.cache_dir}); Ctrl-C to stop", flush=True)
     try:
@@ -371,6 +453,180 @@ def _broker_main(argv) -> int:
         return 0
     finally:
         server.close()
+
+
+def build_service_parser(verb: str) -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog=f"cfdlang-flow {verb}",
+        description={
+            "submit": "submit a sweep to a standing broker as a durable "
+                      "job and print its id; disconnect freely — fetch "
+                      "the results later by id, from anywhere",
+            "status": "print a submitted job's lifecycle state and "
+                      "per-point progress",
+            "fetch": "print a terminal job's sweep results by id "
+                     "(bit-identical to running the sweep locally)",
+            "cancel": "cancel a job: unclaimed points are dropped; a "
+                      "second cancel purges the terminal job's state",
+        }[verb],
+    )
+    p.add_argument("--broker", required=True, metavar="HOST:PORT",
+                   help="the standing 'cfdlang-flow broker' to talk to")
+    p.add_argument("--token", default=None, metavar="SECRET",
+                   help="shared-secret token (or set CFDLANG_FLOW_TOKEN); "
+                        "tenant tokens see only their own jobs")
+    if verb == "submit":
+        p.add_argument("source", nargs="?",
+                       help="CFDlang source file (.cfd)")
+        p.add_argument("--app",
+                       choices=["helmholtz", "interpolation", "gradient"],
+                       help="use a built-in operator instead of a source "
+                            "file")
+        p.add_argument("-n", "--degree", type=int, default=11,
+                       help="tensor extent for built-in operators "
+                            "(default 11)")
+        p.add_argument("--sweep", required=True, metavar="K1xM1,K2xM2,...",
+                       help="the k x m design points to compile")
+        p.add_argument("--ne", type=int, default=50_000,
+                       help="number of CFD elements to simulate")
+    else:
+        p.add_argument("job", metavar="JOB_ID",
+                       help="the id 'cfdlang-flow submit' printed")
+    if verb == "fetch":
+        p.add_argument("--wait", action="store_true",
+                       help="poll until the job is terminal instead of "
+                            "failing on a still-running job")
+        p.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                       help="status polling interval for --wait "
+                            "(default 0.5)")
+        p.add_argument("--trace", action="store_true",
+                       help="print the merged per-stage trace the workers "
+                            "recorded")
+        p.add_argument("--expect-front-end-cached", action="store_true",
+                       help="exit non-zero unless every front-end stage "
+                            "was served from the cache (CI guard)")
+    return p
+
+
+def _load_source(app, source_path, degree: int):
+    """One flow input from --app or a source file (shared by the main
+    command and the submit verb)."""
+    if app:
+        from repro.apps import (
+            gradient_program,
+            interpolation_program,
+            inverse_helmholtz_program,
+        )
+
+        builders = {
+            "helmholtz": lambda: inverse_helmholtz_program(degree),
+            "interpolation": lambda: interpolation_program(degree),
+            "gradient": lambda: gradient_program(degree),
+        }
+        return builders[app]()
+    if source_path:
+        with open(source_path) as f:
+            return f.read()
+    return None
+
+
+def _service_main(verb: str, argv) -> int:
+    from repro.flow.service import BrokerBusyError, ServiceClient, SweepJob
+
+    args = build_service_parser(verb).parse_args(argv)
+    try:
+        with ServiceClient(args.broker, args.token) as client:
+            if verb == "submit":
+                return _submit_main(args, client)
+            job = SweepJob(client, args.job)
+            if verb == "status":
+                status = job.status()
+                print(f"job {status['job']}: {status['state']}, "
+                      f"{status['done_points']}/{status['total']} points "
+                      f"done, {status['failed_points']} failed, "
+                      f"{status['retries']} retries")
+                return 0
+            if verb == "cancel":
+                outcome = job.cancel()
+                print(f"job {outcome['job']}: "
+                      + ("purged" if outcome.get("purged")
+                         else outcome["state"]))
+                return 0
+            return _fetch_main(args, job)
+    except BrokerBusyError as exc:
+        print(f"busy: {exc}", file=sys.stderr)
+        return 3
+    except SystemGenerationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _submit_main(args, client) -> int:
+    from repro.flow.stages import source_fingerprint
+
+    source = _load_source(args.app, args.source, args.degree)
+    if source is None:
+        print("error: provide a source file or --app", file=sys.stderr)
+        return 2
+    text = source_fingerprint(source)
+    options = FlowOptions(system=SystemOptions(n_elements=args.ne))
+    points = [
+        (
+            text,
+            dataclasses.replace(
+                options,
+                system=dataclasses.replace(options.system, k=k, m=m),
+            ).to_spec(),
+        )
+        for k, m in _parse_sweep(args.sweep)
+    ]
+    job = client.submit(points)
+    print(f"submitted job {job.job_id} ({len(points)} points) "
+          f"to {args.broker}")
+    print(job.job_id)
+    return 0
+
+
+def _fetch_main(args, job) -> int:
+    from repro.utils import ascii_table
+
+    if args.wait:
+        job.wait(poll_seconds=args.poll)
+    payloads = job.fetch_payloads()
+    rows = []
+    errors = 0
+    trace = FlowTrace()
+    for index, payload in enumerate(payloads):
+        if payload is None:
+            rows.append((index, "-", "-", "-", "not run (cancelled)"))
+            continue
+        for stage, seconds, cached, origin in payload.get("events") or []:
+            trace.record(stage, seconds, cached, origin)
+        res = payload.get("outcome")
+        if isinstance(res, Exception):
+            rows.append((index, "-", "-", "-", f"error: {res}"))
+            errors += 1
+        else:
+            system = res.system
+            rows.append((
+                index,
+                system.k,
+                system.m,
+                system.resources.bram,
+                f"{res.sim.total_seconds:.3f}s",
+            ))
+    print(ascii_table(
+        ["point", "k", "m", "BRAM", "simulated"],
+        rows,
+        title=f"job {job.job_id}",
+    ))
+    if args.trace:
+        print(trace.summary())
+    if args.expect_front_end_cached:
+        rc = _check_front_end_cached(trace)
+        if rc:
+            return rc
+    return 1 if errors else 0
 
 
 def _cache_main(argv) -> int:
@@ -480,13 +736,32 @@ def _run_sweep(source, options: FlowOptions, args, cache, trace) -> int:
         print(f"{args.executor} executor: using a temporary cache directory "
               "(pass --cache-dir to persist artifacts across runs)")
     executor = args.executor
-    distributed_flags = (args.queue or args.listen or args.broker
+    distributed_flags = (args.queue or args.listen
                          or args.external_workers)
     if args.executor != "distributed" and distributed_flags:
-        print("error: --queue/--listen/--broker/--external-workers need "
+        print("error: --queue/--listen/--external-workers need "
               "--executor distributed", file=sys.stderr)
         return 2
-    if args.executor == "distributed" and distributed_flags:
+    if args.broker and args.executor not in ("distributed", "service"):
+        print("error: --broker needs --executor distributed (drive the "
+              "sweep yourself) or --executor service (submit it as a "
+              "durable job)", file=sys.stderr)
+        return 2
+    if args.executor == "service":
+        from repro.flow.nettransport import resolve_token
+        from repro.flow.service import ServiceExecutor
+
+        if not args.broker:
+            print("error: --executor service needs --broker HOST:PORT: a "
+                  "service sweep runs on a standing 'cfdlang-flow broker'",
+                  file=sys.stderr)
+            return 2
+        if not resolve_token(args.token):
+            print("error: --broker needs a shared-secret token: pass "
+                  "--token or set CFDLANG_FLOW_TOKEN", file=sys.stderr)
+            return 2
+        executor = ServiceExecutor(broker=args.broker, token=args.token)
+    if args.executor == "distributed" and (distributed_flags or args.broker):
         from repro.flow.distributed import DistributedExecutor
 
         if args.external_workers and not (args.queue or args.listen
@@ -563,6 +838,8 @@ def main(argv=None) -> int:
         return _worker_main(argv[1:])
     if argv and argv[0] == "broker":
         return _broker_main(argv[1:])
+    if argv and argv[0] in ("submit", "status", "fetch", "cancel"):
+        return _service_main(argv[0], argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_stages:
         _print_stages()
@@ -581,23 +858,8 @@ def main(argv=None) -> int:
         except SystemGenerationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    if args.app:
-        from repro.apps import (
-            gradient_program,
-            interpolation_program,
-            inverse_helmholtz_program,
-        )
-
-        builders = {
-            "helmholtz": lambda: inverse_helmholtz_program(args.degree),
-            "interpolation": lambda: interpolation_program(args.degree),
-            "gradient": lambda: gradient_program(args.degree),
-        }
-        source = builders[args.app]()
-    elif args.source:
-        with open(args.source) as f:
-            source = f.read()
-    else:
+    source = _load_source(args.app, args.source, args.degree)
+    if source is None:
         print("error: provide a source file or --app", file=sys.stderr)
         return 2
 

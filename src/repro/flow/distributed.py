@@ -65,6 +65,7 @@ from repro.flow.store import (
     CacheBackend,
     DiskStageCache,
     FileSingleFlight,
+    NamespacedStageCache,
     atomic_write_bytes,
     file_age_seconds,
     touch_file,
@@ -447,11 +448,18 @@ def run_worker(
             maybe_crash_for_test(
                 str(message["source"]), int(message.get("attempt", 0))
             )
+            # a job stamped with a tenant namespace (submitted through
+            # the job service, or by a tenant-token connection) computes
+            # into that tenant's partition of the shared cache
+            namespace = str(message.get("namespace") or "")
+            job_cache = (
+                NamespacedStageCache(cache, namespace) if namespace else cache
+            )
             pulse.job = job_id
             try:
                 outcome, events, deltas = run_job_spec(
                     (message["source"], message["options"]),
-                    cache,
+                    job_cache,
                     flight,
                     worker,
                 )

@@ -419,11 +419,20 @@ def _distributed_factory():
     return DistributedExecutor()
 
 
+def _service_factory():
+    # same on-demand pattern: repro.flow.service sits atop the
+    # distributed/nettransport stack
+    from repro.flow.service import ServiceExecutor
+
+    return ServiceExecutor()
+
+
 _EXECUTORS = {
     SerialExecutor.name: SerialExecutor,
     ThreadExecutor.name: ThreadExecutor,
     ProcessExecutor.name: ProcessExecutor,
     "distributed": _distributed_factory,
+    "service": _service_factory,
 }
 
 DEFAULT_EXECUTOR = ThreadExecutor.name

@@ -69,7 +69,7 @@ from repro.flow.distributed import (
     default_worker_id,
     run_worker,
 )
-from repro.flow.store import DiskStageCache, Entry
+from repro.flow.store import DiskStageCache, Entry, namespaced_key
 
 #: bump when the message schema changes incompatibly; hello replies
 #: carry it so mismatched peers fail with a clear error, not a hang
@@ -93,12 +93,16 @@ class BrokerAuthError(SystemGenerationError):
 
 
 def parse_hostport(text: str) -> Tuple[str, int]:
-    """``'127.0.0.1:8765'`` -> ``('127.0.0.1', 8765)``."""
+    """``'127.0.0.1:8765'`` -> ``('127.0.0.1', 8765)``.
+
+    An empty host (``':8765'``, or just ``':0'``) means every interface
+    — the listening-side shorthand for ``0.0.0.0:PORT``.
+    """
     host, sep, port = str(text).rpartition(":")
     try:
-        if not sep or not host:
+        if not sep:
             raise ValueError
-        return host, int(port)
+        return host or "0.0.0.0", int(port)
     except ValueError:
         raise SystemGenerationError(
             f"bad address {text!r}: expected HOST:PORT, e.g. 127.0.0.1:8765"
@@ -314,6 +318,8 @@ class BrokerServer:
         cache: Optional[DiskStageCache] = None,
         *,
         transport: Optional[MemoryTransport] = None,
+        service=None,
+        tenants: Optional[Dict[str, str]] = None,
     ) -> None:
         if not token:
             raise SystemGenerationError(
@@ -322,6 +328,20 @@ class BrokerServer:
             )
         self.token = token
         self.cache = cache
+        #: optional :class:`~repro.flow.service.JobService` (duck-typed:
+        #: this module never imports service, which imports it) — routes
+        #: submit/status/fetch/cancel RPCs and is stopped by close()
+        self.service = service
+        #: extra shared secrets: tenant name -> token.  A tenant
+        #: connection's cache RPCs and submitted jobs are confined to
+        #: that tenant's namespace of the shared store; the primary
+        #: token is the "" tenant (identity namespace) and is what
+        #: workers authenticate with.
+        self.tenants = dict(tenants) if tenants else {}
+        if any(not tok for tok in self.tenants.values()):
+            raise SystemGenerationError(
+                "every tenant needs a non-empty token (NAME=TOKEN)"
+            )
         self.transport = transport if transport is not None else MemoryTransport()
         try:
             self._listener = socket.create_server((host, port))
@@ -344,6 +364,8 @@ class BrokerServer:
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
         self._closing.set()
+        if self.service is not None:
+            self.service.stop()  # scheduler first: no new puts mid-teardown
         try:
             self._listener.close()
         except OSError:
@@ -387,17 +409,28 @@ class BrokerServer:
             thread.start()
 
     # -- per-connection protocol ---------------------------------------------
+    def _authenticate(self, presented: str) -> Optional[str]:
+        """The tenant a presented token authenticates as: ``""`` for the
+        primary token, the tenant name for a tenant token, None for a
+        reject.  Every registered secret is compared (constant-time per
+        comparison) so response timing never reveals which tenants
+        exist."""
+        tenant: Optional[str] = None
+        if hmac.compare_digest(presented, self.token):
+            tenant = ""
+        for name in sorted(self.tenants):
+            if hmac.compare_digest(presented, self.tenants[name]):
+                tenant = name
+        return tenant
+
     def _serve(self, conn: socket.socket) -> None:
         worker_id: Optional[str] = None
+        tenant: Optional[str] = None
         try:
             hello = recv_frame(conn, allow_pickle=False)
-            if (
-                not isinstance(hello, dict)
-                or hello.get("op") != "hello"
-                or not hmac.compare_digest(
-                    str(hello.get("token", "")), self.token
-                )
-            ):
+            if isinstance(hello, dict) and hello.get("op") == "hello":
+                tenant = self._authenticate(str(hello.get("token", "")))
+            if tenant is None:
                 send_frame(conn, {"ok": False, "error": "bad token"})
                 return
             if hello.get("version") != PROTOCOL_VERSION:
@@ -422,7 +455,7 @@ class BrokerServer:
                 if request.get("op") == "bye":
                     send_frame(conn, {"ok": True})
                     return
-                reply, pickled = self._dispatch(request, worker_id)
+                reply, pickled = self._dispatch(request, worker_id, tenant)
                 send_frame(conn, reply, pickled=pickled)
         except TransportClosedError:
             pass
@@ -438,13 +471,36 @@ class BrokerServer:
             except OSError:
                 pass
 
-    def _dispatch(self, request, worker_id):
+    def _dispatch(self, request, worker_id, tenant: str = ""):
         """One request -> (reply, pickled?).  Requests from workers count
-        as liveness: any op refreshes the connection's worker heartbeat."""
+        as liveness: any op refreshes the connection's worker heartbeat.
+        ``tenant`` is the connection's authenticated tenant: its cache
+        RPCs are confined to that namespace of the shared store and its
+        enqueued jobs are stamped so workers compute into it too."""
         t = self.transport
         op = request.get("op")
         if worker_id:
             t.heartbeat_worker(worker_id)
+        if op in ("submit", "job_status", "job_fetch", "job_cancel"):
+            if self.service is None:
+                return {
+                    "ok": False,
+                    "error": "this broker runs no job service (a sweep's "
+                             "--listen broker is transport-only; submit to "
+                             "a standing 'cfdlang-flow broker' instead)",
+                }, False
+            return self.service.handle_rpc(op, request, tenant)
+        if op == "service_stats":
+            stats: Dict[str, object] = {
+                "workers": t.alive_workers(
+                    float(request.get("stale_seconds", 60.0))
+                ),
+            }
+            if self.cache is not None:
+                stats["cache"] = self.cache.counters()
+            if self.service is not None:
+                stats.update(self.service.stats())
+            return {"ok": True, "stats": stats}, False
         if op == "claim":
             return {"job": t.claim_job()}, False
         if op == "heartbeat":
@@ -458,7 +514,13 @@ class BrokerServer:
             t.complete(str(request["id"]), request["payload"])
             return {"ok": True}, False
         if op == "put_job":
-            t.put_job(request["message"])
+            message = dict(request["message"])
+            if tenant:
+                # a tenant driving the transport directly (an attached
+                # distributed sweep) still lands in its own namespace:
+                # workers read this stamp and wrap their cache
+                message["namespace"] = tenant
+            t.put_job(message)
             return {"ok": True}, False
         if op == "take_result":
             return {"payload": t.take_result(str(request["id"]))}, True
@@ -485,15 +547,17 @@ class BrokerServer:
             workers = t.alive_workers(float(request["stale_seconds"]))
             return {"workers": workers}, False
         if op == "cache_fetch":
+            key = namespaced_key(tenant, str(request["key"]))
             data = (
-                self.cache.export_entry(str(request["key"]))
+                self.cache.export_entry(key)
                 if self.cache is not None else None
             )
             return {"data": data}, True
         if op == "cache_put":
             if self.cache is not None:
                 self.cache.import_entry(
-                    str(request["key"]), request["data"]
+                    namespaced_key(tenant, str(request["key"])),
+                    request["data"],
                 )
             return {"ok": True}, False
         return {"ok": False, "error": f"unknown op {op!r}"}, False
@@ -877,6 +941,14 @@ def run_tcp_worker(
             worker_id=worker,
         )
     finally:
-        transport.close()
-        if tmp_dir is not None:
-            shutil.rmtree(tmp_dir, ignore_errors=True)
+        # close() can itself raise on a broker that vanished mid-goodbye
+        # (TransportClosedError, or a garbage frame from a dying socket);
+        # the temporary tier must be removed on *every* exit path, not
+        # just SIGTERM, so the rmtree gets its own finally
+        try:
+            transport.close()
+        except Exception:  # noqa: BLE001 — a failed goodbye is still goodbye
+            pass
+        finally:
+            if tmp_dir is not None:
+                shutil.rmtree(tmp_dir, ignore_errors=True)

@@ -460,6 +460,13 @@ def compile_many(
     reference semantics.  Every backend computes each needed stage
     exactly once and produces results identical to the sequential run.
 
+    ``ServiceExecutor(broker=..., token=...)`` (:mod:`repro.flow.
+    service`) submits the batch as one durable job on a standing
+    ``cfdlang-flow broker`` and polls it to completion; with
+    ``detach=True`` this function returns the :class:`~repro.flow.
+    service.SweepJob` handle immediately instead of a result list, and
+    the job can be fetched later from any connection.
+
     Errors are captured per point: with ``return_exceptions=True`` every
     point runs to completion and a failing point's slot holds its
     exception.  Otherwise the backend stops scheduling new points after
@@ -486,6 +493,11 @@ def compile_many(
                 fail_fast=not return_exceptions,
             )
         )
+        if not isinstance(outcomes, list):
+            # a detached handle (ServiceExecutor(detach=True) returns the
+            # SweepJob instead of outcomes): hand it straight back — there
+            # is nothing local to gc or raise, the broker owns the job now
+            return outcomes
         apply_gc_policy = getattr(cache, "apply_gc_policy", None)
         if apply_gc_policy is not None:
             apply_gc_policy()  # the automatic sweep-completion gc hook

@@ -27,6 +27,7 @@ sweep-completion hook.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pathlib
 import pickle
@@ -608,6 +609,113 @@ class DiskStageCache:
         if key in self._mem:
             return True
         return self._path(key).exists()
+
+
+def namespaced_key(namespace: str, key: str) -> str:
+    """Map a stage key into a tenant's cache namespace.
+
+    The empty namespace is the identity — the default tenant shares keys
+    with every single-tenant deployment ever cached.  A non-empty
+    namespace rehashes (namespace, key) into a fresh sha256 hex digest,
+    so namespaced keys keep the exact shape of ordinary stage keys (the
+    ``<key[:2]>/`` disk fan-out, lock-file names, export/import plumbing
+    all work unchanged) while tenants can never collide with each other
+    or with the default namespace: equality of mapped keys implies
+    equality of both the namespace and the underlying computation.
+    """
+    if not namespace:
+        return key
+    digest = hashlib.sha256()
+    digest.update(b"cfdlang-flow-namespace\x00")
+    digest.update(namespace.encode())
+    digest.update(b"\x00")
+    digest.update(key.encode())
+    return digest.hexdigest()
+
+
+class NamespacedStageCache:
+    """A per-tenant view over a shared cache backend.
+
+    Every key-addressed operation (fetch/peek/get/put/contains and the
+    serialized export/import transfer) passes its key through
+    :func:`namespaced_key` before touching the backing store; counters,
+    stats, gc policy and the single-flight lock directory are the
+    *backend's* — tenants of one broker share its budget and its
+    observability, they just cannot see each other's artifacts.
+
+    Single-flight locks are keyed by the caller with *raw* stage keys,
+    so two tenants computing the same program may briefly serialize on
+    one lock; the follower re-checks its own namespace, misses, and
+    becomes the next leader — duplicated work across tenants is the
+    intended isolation, never a wrong result.
+    """
+
+    def __init__(self, backend, namespace: str) -> None:
+        self.backend = backend
+        self.namespace = str(namespace)
+
+    def _key(self, key: str) -> str:
+        return namespaced_key(self.namespace, key)
+
+    # -- backend protocol ----------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self.backend.hits
+
+    @property
+    def misses(self) -> int:
+        return self.backend.misses
+
+    def fetch(self, key: str) -> Optional[Hit]:
+        return self.backend.fetch(self._key(key))
+
+    def peek(self, key: str) -> Optional[Hit]:
+        return self.backend.peek(self._key(key))
+
+    def get(self, key: str) -> Optional[Entry]:
+        hit = self.fetch(key)
+        return None if hit is None else hit[0]
+
+    def put(self, key: str, outputs: Entry) -> None:
+        self.backend.put(self._key(key), outputs)
+
+    def clear(self) -> None:
+        # entries are not enumerable per namespace (mapping is one-way),
+        # so clear is the backend's whole-store reset
+        self.backend.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return self.backend.stats()
+
+    def counters(self) -> Dict[str, int]:
+        return self.backend.counters()
+
+    def merge_stats(self, stats: Mapping[str, int]) -> None:
+        self.backend.merge_stats(stats)
+
+    def apply_gc_policy(self) -> int:
+        return self.backend.apply_gc_policy()
+
+    @property
+    def lock_dir(self):
+        return self.backend.lock_dir
+
+    @property
+    def put_errors(self) -> int:
+        return self.backend.put_errors
+
+    # -- serialized entry transfer (counter-neutral, like the backend's) -----
+    def export_entry(self, key: str) -> Optional[bytes]:
+        return self.backend.export_entry(self._key(key))
+
+    def import_entry(self, key: str, data: bytes) -> Optional[Entry]:
+        return self.backend.import_entry(self._key(key), data)
+
+    def __len__(self) -> int:
+        return len(self.backend)
+
+    def __contains__(self, key: str) -> bool:
+        return self._key(key) in self.backend
 
 
 class SingleFlight:

@@ -49,7 +49,9 @@ def result_signature(results):
 
 class TestExecutorRegistry:
     def test_names(self):
-        assert executor_names() == ["distributed", "process", "serial", "thread"]
+        assert executor_names() == [
+            "distributed", "process", "serial", "service", "thread"
+        ]
         assert DEFAULT_EXECUTOR == "thread"
 
     def test_get_unknown_executor(self):

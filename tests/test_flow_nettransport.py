@@ -293,7 +293,10 @@ class TestBrokerServer:
     def test_parse_hostport(self):
         assert parse_hostport("127.0.0.1:8765") == ("127.0.0.1", 8765)
         assert parse_hostport("[::1]:1") == ("[::1]", 1)
-        for bad in ("nope", "host:", ":123", "host:abc"):
+        # an empty host is the every-interface listening shorthand
+        assert parse_hostport(":123") == ("0.0.0.0", 123)
+        assert parse_hostport(":0") == ("0.0.0.0", 0)
+        for bad in ("nope", "host:", "host:abc"):
             with pytest.raises(SystemGenerationError, match="HOST:PORT"):
                 parse_hostport(bad)
 

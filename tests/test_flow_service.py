@@ -1,0 +1,696 @@
+"""Compile-as-a-service: the job-lifecycle conformance contract (run
+against the in-process JobService and over TCP through a real broker),
+restart durability, admission control, tenant cache namespaces, the
+service executor, and the submit/status/fetch/cancel CLI verbs."""
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.apps.helmholtz import HELMHOLTZ_DSL
+from repro.errors import SystemGenerationError
+from repro.flow import (
+    BrokerBusyError,
+    DiskStageCache,
+    FlowOptions,
+    JobService,
+    NamespacedStageCache,
+    ServiceClient,
+    ServiceExecutor,
+    SweepJob,
+    SystemOptions,
+    attach_job,
+    compile_many,
+    namespaced_key,
+)
+from repro.flow.distributed import WorkerCrashError, run_worker
+from repro.flow.nettransport import BrokerServer, MemoryTransport, run_tcp_worker
+from repro.flow.service import (
+    TERMINAL_STATES,
+    mint_job_id,
+    start_service_broker,
+)
+from repro.flow.stages import FRONT_END_STAGES
+from repro.flow.store import StageCache
+
+TOKEN = "conformance-secret"
+
+GRID = [
+    (HELMHOLTZ_DSL, FlowOptions(system=SystemOptions(k=k, m=m)))
+    for k, m in ((1, 1), (2, 2), (4, 4))
+]
+
+
+def spec_points(pairs):
+    """(source, FlowOptions) pairs -> the primitives-only submit shape."""
+    return [(source, options.to_spec()) for source, options in pairs]
+
+
+def result_signature(results):
+    return [
+        (
+            r.kernel.source,
+            r.hls.summary(),
+            r.memory.brams,
+            (r.system.k, r.system.m),
+            r.system.resources,
+            r.sim.total_cycles,
+        )
+        for r in results
+    ]
+
+
+def payload_signature(payloads):
+    return result_signature([p["outcome"] for p in payloads])
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    """The reference sweep every service path must match bit-identically."""
+    return compile_many(GRID, executor="serial")
+
+
+def wait_state(rig, job_id, states=TERMINAL_STATES, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    status = rig.status(job_id)
+    while time.monotonic() < deadline:
+        if status["state"] in states:
+            return status
+        time.sleep(0.02)
+        status = rig.status(job_id)
+    pytest.fail(f"job {job_id} stuck in {status['state']!r}")
+
+
+# -- the job-lifecycle contract -----------------------------------------------
+class _LocalRig:
+    """JobService driven directly: MemoryTransport + in-process worker."""
+
+    def __init__(self, root, **limits):
+        self.transport = MemoryTransport()
+        self.cache = DiskStageCache(root / "cache")
+        self.service = JobService(
+            root / "service", self.transport, self.cache,
+            poll_seconds=0.01, **limits,
+        ).start()
+        self._drained = 0
+
+    def submit(self, points):
+        return self.service.submit(points)
+
+    def status(self, job_id):
+        return self.service.status(job_id)
+
+    def fetch(self, job_id):
+        return self.service.fetch(job_id)
+
+    def cancel(self, job_id):
+        return self.service.cancel(job_id)
+
+    def stats(self):
+        return self.service.stats()
+
+    def drain(self, n):
+        self._drained += 1
+        run_worker(
+            transport=self.transport, cache=self.cache,
+            max_jobs=n, poll_seconds=0.005,
+            worker_id=f"w-local-{self._drained}",
+        )
+
+    def close(self):
+        self.service.stop()
+
+
+class _TcpRig:
+    """The same contract over the wire: ServiceClient RPCs against a
+    live broker, drained by real TCP workers."""
+
+    def __init__(self, root, **limits):
+        self.root = root
+        self.server = start_service_broker(
+            "127.0.0.1", 0, TOKEN,
+            DiskStageCache(root / "broker-cache"), root / "service",
+            poll_seconds=0.01, **limits,
+        )
+        self.client = ServiceClient(self.server.address, TOKEN).connect()
+        self._drained = 0
+
+    def submit(self, points):
+        return self.client.submit(points).job_id
+
+    def status(self, job_id):
+        return self.client.status(job_id)
+
+    def fetch(self, job_id):
+        return self.client.fetch(job_id)
+
+    def cancel(self, job_id):
+        return self.client.cancel(job_id)
+
+    def stats(self):
+        return self.client.stats()
+
+    def drain(self, n):
+        self._drained += 1
+        run_tcp_worker(
+            self.server.address, TOKEN,
+            self.root / f"worker-{self._drained}",
+            max_jobs=n, poll_seconds=0.005,
+            worker_id=f"w-tcp-{self._drained}",
+        )
+
+    def close(self):
+        try:
+            self.client.close()
+        finally:
+            self.server.close()
+
+
+class ServiceConformance:
+    """The semantics every job-service deployment shape must provide,
+    pinned once and run against the in-process service and the TCP
+    broker: durable ids, lifecycle states, per-point progress, fetch
+    gating, cancel, admission backpressure, and bit-identical results.
+    """
+
+    rig_class = None
+
+    @pytest.fixture
+    def make_rig(self, tmp_path):
+        rigs = []
+
+        def factory(**limits):
+            root = tmp_path / f"rig{len(rigs)}"
+            root.mkdir()
+            rig = self.rig_class(root, **limits)
+            rigs.append(rig)
+            return rig
+
+        yield factory
+        for rig in rigs:
+            rig.close()
+
+    @pytest.fixture
+    def rig(self, make_rig):
+        return make_rig()
+
+    def test_job_ids_are_durable_handles(self, rig):
+        job_id = rig.submit([])
+        assert job_id.startswith("j")
+        assert "-" not in job_id  # point ids are <job>-<idx>: no dashes
+
+    def test_empty_job_is_immediately_done(self, rig):
+        job_id = rig.submit([])
+        assert rig.status(job_id)["state"] == "done"
+        assert rig.fetch(job_id) == []
+
+    def test_submit_reports_progress_counters(self, rig):
+        job_id = rig.submit(spec_points(GRID[:2]))
+        status = rig.status(job_id)
+        assert status["state"] in ("queued", "running")
+        assert status["total"] == 2
+        assert status["done_points"] == 0  # no worker has run yet
+        assert rig.stats()["queue_depth"] == 2
+
+    def test_lifecycle_to_done_with_bit_identical_results(
+        self, rig, serial_results
+    ):
+        job_id = rig.submit(spec_points(GRID[:2]))
+        rig.drain(2)
+        status = wait_state(rig, job_id)
+        assert status["state"] == "done"
+        assert status["done_points"] == 2
+        assert status["failed_points"] == 0
+        payloads = rig.fetch(job_id)
+        assert payload_signature(payloads) == result_signature(
+            serial_results[:2]
+        )
+        # non-destructive: a fetched job stays fetchable
+        assert payload_signature(rig.fetch(job_id)) == payload_signature(
+            payloads
+        )
+
+    def test_fetch_before_terminal_is_refused(self, rig):
+        job_id = rig.submit(spec_points(GRID[:1]))
+        with pytest.raises(SystemGenerationError, match="poll status"):
+            rig.fetch(job_id)
+
+    def test_cancel_then_purge(self, rig):
+        job_id = rig.submit(spec_points(GRID[:2]))
+        outcome = rig.cancel(job_id)
+        assert outcome["state"] == "cancelled" and not outcome["purged"]
+        assert rig.status(job_id)["state"] == "cancelled"
+        assert rig.fetch(job_id) == [None, None]  # points never ran
+        assert rig.cancel(job_id)["purged"]  # second cancel purges
+        with pytest.raises(SystemGenerationError, match="no job"):
+            rig.status(job_id)
+
+    def test_unknown_job_is_a_clean_error(self, rig):
+        with pytest.raises(SystemGenerationError, match="no job"):
+            rig.status("j0000000000000deadbeef")
+
+    def test_over_limit_submit_is_busy_not_a_stall(self, make_rig):
+        """Acceptance: the admission path refuses with BrokerBusyError
+        instead of growing the backlog, and frees up on cancel."""
+        rig = make_rig(max_jobs=1)
+        job_id = rig.submit(spec_points(GRID[:1]))
+        t0 = time.monotonic()
+        with pytest.raises(BrokerBusyError, match="limit"):
+            rig.submit(spec_points(GRID[:1]))
+        assert time.monotonic() - t0 < 5.0  # refused, never queued
+        rig.cancel(job_id)
+        assert rig.submit([]) != job_id  # capacity freed
+
+    def test_failing_point_fails_the_job(self, rig):
+        job_id = rig.submit(
+            spec_points(GRID[:1]) + [("this is not a program", None)]
+        )
+        rig.drain(2)
+        status = wait_state(rig, job_id)
+        assert status["state"] == "failed"
+        assert status["failed_points"] == 1
+        payloads = rig.fetch(job_id)
+        assert not isinstance(payloads[0]["outcome"], Exception)
+        assert isinstance(payloads[1]["outcome"], Exception)
+
+
+class TestLocalServiceConformance(ServiceConformance):
+    rig_class = _LocalRig
+
+
+class TestTcpServiceConformance(ServiceConformance):
+    rig_class = _TcpRig
+
+
+# -- service internals (no compiles, no sockets) ------------------------------
+class TestJobServiceUnit:
+    def test_job_ids_sort_by_submit_time(self):
+        first = mint_job_id()
+        time.sleep(0.002)  # the id's clock field is millisecond-grained
+        assert first < mint_job_id()
+
+    def test_per_tenant_limit_is_independent(self, tmp_path):
+        service = JobService(
+            tmp_path, MemoryTransport(), max_jobs=16, max_tenant_jobs=1
+        )
+        service.submit([(HELMHOLTZ_DSL, None)], tenant="alice")
+        with pytest.raises(BrokerBusyError, match="token"):
+            service.submit([(HELMHOLTZ_DSL, None)], tenant="alice")
+        service.submit([(HELMHOLTZ_DSL, None)], tenant="bob")  # unaffected
+
+    def test_tenants_cannot_see_each_others_jobs(self, tmp_path):
+        service = JobService(tmp_path, MemoryTransport())
+        job_id = service.submit([(HELMHOLTZ_DSL, None)], tenant="alice")
+        assert service.status(job_id, tenant="alice")["total"] == 1
+        for other in ("bob", ""):
+            with pytest.raises(SystemGenerationError, match="no job"):
+                service.status(job_id, tenant=other)
+            with pytest.raises(SystemGenerationError, match="no job"):
+                service.cancel(job_id, tenant=other)
+
+    def test_repeatedly_lost_worker_fails_the_point(self, tmp_path):
+        """A point whose lease keeps expiring burns its retry budget and
+        resolves to WorkerCrashError — the job goes terminal instead of
+        requeueing forever."""
+        transport = MemoryTransport()
+        with JobService(
+            tmp_path, transport,
+            lease_seconds=0.05, max_attempts=2, poll_seconds=0.01,
+        ) as service:
+            job_id = service.submit([(HELMHOLTZ_DSL, None)])
+            deadline = time.monotonic() + 30.0
+            while (service.status(job_id)["state"] not in TERMINAL_STATES
+                   and time.monotonic() < deadline):
+                message = transport.claim_job()
+                if message is None:
+                    time.sleep(0.01)
+                    continue
+                # claim like a worker, then die: age the lease stale
+                transport._age_lease(message["id"], 3600.0)
+            status = service.status(job_id)
+            assert status["state"] == "failed"
+            assert status["retries"] >= 2
+            (payload,) = service.fetch(job_id)
+            assert isinstance(payload["outcome"], WorkerCrashError)
+
+    def test_namespaced_key_partitions_without_changing_shape(self):
+        key = "a" * 64
+        assert namespaced_key("", key) == key  # primary token: identity
+        alice, bob = namespaced_key("alice", key), namespaced_key("bob", key)
+        assert alice != bob != key
+        # still a sha256 hex name: disk fan-out and locks keep working
+        assert len(alice) == 64 and int(alice, 16) >= 0
+
+    def test_namespaced_cache_views_one_backend(self):
+        backend = StageCache()
+        alice = NamespacedStageCache(backend, "alice")
+        bob = NamespacedStageCache(backend, "bob")
+        alice.put("k", {"v": 1})
+        assert alice.get("k") == {"v": 1}
+        assert bob.fetch("k") is None  # partitioned
+        assert namespaced_key("alice", "k") in backend  # shared store
+
+
+# -- restart durability (the tentpole's acceptance path) ----------------------
+class TestBrokerRestart:
+    def test_fetch_by_id_across_restart_is_bit_identical(
+        self, tmp_path, serial_results
+    ):
+        """Acceptance: submit, disconnect, kill the broker before any
+        point ran; a new broker over the same dirs recovers the job,
+        fresh workers re-register and drain it, and a fetch by nothing
+        but the id matches the serial backend bit-for-bit."""
+        cache_dir, service_dir = tmp_path / "cache", tmp_path / "service"
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(cache_dir), service_dir,
+            poll_seconds=0.01,
+        )
+        with ServiceClient(server.address, TOKEN) as client:
+            job_id = client.submit(spec_points(GRID)).job_id
+        server.close()  # no worker ever ran: zero progress persisted
+
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(cache_dir), service_dir,
+            poll_seconds=0.01,
+        )
+        try:
+            worker = threading.Thread(
+                target=run_tcp_worker,
+                args=(server.address, TOKEN, tmp_path / "worker"),
+                kwargs={"max_jobs": len(GRID), "poll_seconds": 0.005,
+                        "worker_id": "w-revived"},
+            )
+            worker.start()
+            deadline = time.monotonic() + 30.0  # the worker re-registered
+            while (not server.transport.alive_workers(60.0)
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert server.transport.alive_workers(60.0) == ["w-revived"]
+            job = attach_job(server.address, TOKEN, job_id)
+            job.wait(timeout=300.0, poll_seconds=0.05)
+            assert result_signature(job.fetch()) == result_signature(
+                serial_results
+            )
+            job.client.close()
+            worker.join(timeout=30.0)
+        finally:
+            server.close()
+
+    def test_restart_keeps_resolved_points_and_requeues_the_rest(
+        self, tmp_path, serial_results
+    ):
+        cache_dir, service_dir = tmp_path / "cache", tmp_path / "service"
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(cache_dir), service_dir,
+            poll_seconds=0.01,
+        )
+        with ServiceClient(server.address, TOKEN) as client:
+            job = client.submit(spec_points(GRID[:2]))
+            run_tcp_worker(  # resolve exactly the first point
+                server.address, TOKEN, tmp_path / "w1",
+                max_jobs=1, poll_seconds=0.005,
+            )
+            deadline = time.monotonic() + 30.0
+            while (job.status()["done_points"] < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            job_id = job.job_id
+        server.close()
+
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(cache_dir), service_dir,
+            poll_seconds=0.01,
+        )
+        try:
+            status = server.service.status(job_id)
+            assert status["done_points"] == 1  # survived the restart
+            run_tcp_worker(  # only the unresolved point was re-enqueued
+                server.address, TOKEN, tmp_path / "w2",
+                max_jobs=1, poll_seconds=0.005,
+            )
+            job = attach_job(server.address, TOKEN, job_id)
+            job.wait(timeout=300.0, poll_seconds=0.05)
+            assert result_signature(job.fetch()) == result_signature(
+                serial_results[:2]
+            )
+            job.client.close()
+        finally:
+            server.close()
+
+
+# -- tenant cache namespaces over the wire ------------------------------------
+class TestTenantNamespaces:
+    def test_tenant_partition_recomputes_anothers_front_end(self, tmp_path):
+        """Alice's second run is served from her cache partition; Bob's
+        first run of the same program must recompute the front end —
+        tenants share the store but never each other's entries."""
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(tmp_path / "cache"),
+            tmp_path / "service", poll_seconds=0.01,
+            tenants={"alice": "alice-secret", "bob": "bob-secret"},
+        )
+
+        def run_as(token, tag):
+            with ServiceClient(server.address, token) as client:
+                job = client.submit(spec_points(GRID[:1]))
+                run_tcp_worker(
+                    server.address, TOKEN, tmp_path / tag,
+                    max_jobs=1, poll_seconds=0.005,
+                )
+                job.wait(timeout=300.0, poll_seconds=0.05)
+                (payload,) = job.fetch_payloads()
+            front_end = [
+                cached for stage, _, cached, _ in payload["events"]
+                if stage in FRONT_END_STAGES
+            ]
+            assert front_end
+            return all(front_end)
+
+        try:
+            assert not run_as("alice-secret", "w1")  # cold: computed
+            assert run_as("alice-secret", "w2")  # warm in her namespace
+            assert not run_as("bob-secret", "w3")  # his namespace is cold
+        finally:
+            server.close()
+
+
+# -- the executor backend ------------------------------------------------------
+class TestServiceExecutor:
+    def test_matches_serial_bit_identical(self, tmp_path, serial_results):
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(tmp_path / "cache"),
+            tmp_path / "service", poll_seconds=0.01,
+        )
+        worker = threading.Thread(
+            target=run_tcp_worker,
+            args=(server.address, TOKEN, tmp_path / "worker"),
+            kwargs={"max_jobs": 2, "poll_seconds": 0.005},
+        )
+        worker.start()
+        try:
+            results = compile_many(
+                GRID[:2],
+                executor=ServiceExecutor(
+                    broker=server.address, token=TOKEN, poll_seconds=0.02
+                ),
+            )
+            assert result_signature(results) == result_signature(
+                serial_results[:2]
+            )
+            worker.join(timeout=30.0)
+        finally:
+            server.close()
+
+    def test_detach_returns_the_durable_handle(self, tmp_path, serial_results):
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(tmp_path / "cache"),
+            tmp_path / "service", poll_seconds=0.01,
+        )
+        try:
+            job = compile_many(
+                GRID[:1],
+                executor=ServiceExecutor(
+                    broker=server.address, token=TOKEN, detach=True
+                ),
+            )
+            assert isinstance(job, SweepJob)  # not outcomes: a handle
+            run_tcp_worker(
+                server.address, TOKEN, tmp_path / "worker",
+                max_jobs=1, poll_seconds=0.005,
+            )
+            # ...and any later connection fetches by id alone
+            revived = attach_job(server.address, TOKEN, job.job_id)
+            revived.wait(timeout=300.0, poll_seconds=0.05)
+            assert result_signature(revived.fetch()) == result_signature(
+                serial_results[:1]
+            )
+            revived.client.close()
+        finally:
+            server.close()
+
+    def test_bare_service_executor_is_an_actionable_error(self):
+        with pytest.raises(SystemGenerationError, match="broker"):
+            compile_many(GRID[:1], executor="service")
+
+
+# -- CLI verbs -----------------------------------------------------------------
+class TestServiceCli:
+    @pytest.fixture
+    def broker(self, tmp_path):
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(tmp_path / "cache"),
+            tmp_path / "service", poll_seconds=0.01,
+        )
+        host, port = server.address
+        try:
+            yield server, f"{host}:{port}"
+        finally:
+            server.close()
+
+    def test_submit_status_fetch_cancel_roundtrip(self, broker, tmp_path,
+                                                  capsys):
+        from repro.flow.cli import main
+
+        server, address = broker
+        rc = main(["submit", "--broker", address, "--token", TOKEN,
+                   "--app", "helmholtz", "--sweep", "1x1"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "submitted job" in out
+        job_id = out.strip().splitlines()[-1]  # bare id on its own line
+
+        rc = main(["status", "--broker", address, "--token", TOKEN, job_id])
+        assert rc == 0
+        assert f"job {job_id}: queued, 0/1 points done" in \
+            capsys.readouterr().out
+
+        run_tcp_worker(server.address, TOKEN, tmp_path / "worker",
+                       max_jobs=1, poll_seconds=0.005)
+        rc = main(["fetch", "--broker", address, "--token", TOKEN,
+                   job_id, "--wait", "--poll", "0.05", "--trace"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"job {job_id}" in out and "BRAM" in out
+
+        rc = main(["cancel", "--broker", address, "--token", TOKEN, job_id])
+        assert rc == 0
+        assert f"job {job_id}: purged" in capsys.readouterr().out
+        rc = main(["status", "--broker", address, "--token", TOKEN, job_id])
+        assert rc == 2
+        assert "no job" in capsys.readouterr().err
+
+    def test_second_submit_is_front_end_cached(self, broker, tmp_path,
+                                               capsys):
+        """The CI smoke shape: a repeat submit of the same program must
+        pass --expect-front-end-cached."""
+        from repro.flow.cli import main
+
+        server, address = broker
+        for tag in ("w1", "w2"):
+            rc = main(["submit", "--broker", address, "--token", TOKEN,
+                       "--app", "helmholtz", "--sweep", "1x1"])
+            assert rc == 0
+            job_id = capsys.readouterr().out.strip().splitlines()[-1]
+            run_tcp_worker(server.address, TOKEN, tmp_path / tag,
+                           max_jobs=1, poll_seconds=0.005)
+            rc = main(["fetch", "--broker", address, "--token", TOKEN,
+                       job_id, "--wait", "--poll", "0.05",
+                       "--expect-front-end-cached"])
+            output = capsys.readouterr()
+            assert rc == (1 if tag == "w1" else 0), output.err
+        assert "front-end" not in output.err
+
+    def test_busy_submit_exits_3(self, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(tmp_path / "cache"),
+            tmp_path / "service", max_jobs=0,  # everything is over-limit
+        )
+        host, port = server.address
+        try:
+            rc = main(["submit", "--broker", f"{host}:{port}",
+                       "--token", TOKEN, "--app", "helmholtz",
+                       "--sweep", "1x1"])
+        finally:
+            server.close()
+        assert rc == 3
+        assert "busy:" in capsys.readouterr().err
+
+    def test_broker_status_flag_prints_stats(self, broker, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        _, address = broker
+        rc = main(["broker", "--listen", address, "--token", TOKEN,
+                   "--cache-dir", str(tmp_path / "unused"), "--status"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "jobs:" in out and "queue depth:" in out
+        assert "workers: 0 alive" in out
+
+    def test_broker_status_without_broker_is_one_line(self, tmp_path,
+                                                      capsys):
+        import socket
+
+        from repro.flow.cli import main
+
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            host, port = s.getsockname()[:2]
+        rc = main(["broker", "--listen", f"{host}:{port}", "--token", TOKEN,
+                   "--cache-dir", str(tmp_path), "--status"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot reach" in err and "Traceback" not in err
+
+
+class TestEphemeralPortBroker:
+    def test_listen_zero_prints_the_bound_address(self, tmp_path):
+        """`--listen :0` must report the real port on stdout — the line
+        scripts (and the CI smoke test) parse to find the broker."""
+        import pathlib
+
+        import repro
+
+        pkg_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (pkg_root, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.flow.cli", "broker",
+             "--listen", "127.0.0.1:0", "--token", TOKEN,
+             "--cache-dir", str(tmp_path / "cache")],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "broker listening on " in line
+            address = line.split("broker listening on ", 1)[1].split()[0]
+            host, port = address.split(":")
+            assert host == "127.0.0.1" and 0 < int(port) < 65536
+            with ServiceClient((host, int(port)), TOKEN) as client:
+                assert client.stats()["queue_depth"] == 0
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+class TestWorkerTempTierCleanup:
+    def test_temp_cache_removed_when_broker_vanishes(self, tmp_path,
+                                                     monkeypatch):
+        """A worker with no --cache-dir mkdtemps its local tier; losing
+        the broker (TransportClosedError, not SIGTERM) must still remove
+        it — the long-lived fleet would otherwise leak a directory per
+        broker restart."""
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        server = BrokerServer("127.0.0.1", 0, TOKEN)
+        threading.Timer(0.5, server.close).start()
+        handled = run_tcp_worker(server.address, TOKEN, None,
+                                 poll_seconds=0.02)
+        assert handled == 0
+        assert list(tmp_path.glob("cfdlang-flow-worker-cache-*")) == []
