@@ -214,7 +214,7 @@ def main() -> None:
         if args.listen:
             from repro.flow.nettransport import parse_hostport
 
-            listen = parse_hostport(args.listen)
+            listen = parse_hostport(args.listen, listening=True)
         executor = DistributedExecutor(
             queue_dir=args.queue,
             listen=listen,

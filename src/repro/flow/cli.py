@@ -360,6 +360,11 @@ def build_broker_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-tenant-jobs", type=int, default=8, metavar="N",
                    help="refuse submits beyond N unfinished jobs for one "
                         "token (default 8)")
+    p.add_argument("--retention-hours", type=float, default=24.0,
+                   metavar="H",
+                   help="purge a finished job's spec and results H hours "
+                        "after it goes terminal (default 24); fetch "
+                        "within the window or resubmit")
     p.add_argument("--status", action="store_true",
                    help="query the broker already listening at --listen and "
                         "print queue depth, jobs by state, workers, and "
@@ -425,7 +430,7 @@ def _broker_main(argv) -> int:
         from repro.flow.nettransport import parse_hostport, resolve_token
         from repro.flow.service import start_service_broker
 
-        host, port = parse_hostport(args.listen)
+        host, port = parse_hostport(args.listen, listening=True)
         server = start_service_broker(
             host, port, resolve_token(args.token) or "",
             DiskStageCache(args.cache_dir),
@@ -433,6 +438,7 @@ def _broker_main(argv) -> int:
             tenants=_parse_tenants(args.tenant),
             max_jobs=args.max_jobs,
             max_tenant_jobs=args.max_tenant_jobs,
+            terminal_ttl_seconds=args.retention_hours * 3600.0,
         )
     except SystemGenerationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -779,7 +785,10 @@ def _run_sweep(source, options: FlowOptions, args, cache, trace) -> int:
                       "token: pass --token or set CFDLANG_FLOW_TOKEN",
                       file=sys.stderr)
                 return 2
-            listen = parse_hostport(args.listen) if args.listen else None
+            listen = (
+                parse_hostport(args.listen, listening=True)
+                if args.listen else None
+            )
             broker = parse_hostport(args.broker) if args.broker else None
         executor = DistributedExecutor(
             queue_dir=args.queue,

@@ -92,21 +92,44 @@ class BrokerAuthError(SystemGenerationError):
     """The broker rejected this client's token."""
 
 
-def parse_hostport(text: str) -> Tuple[str, int]:
+#: the request surface a tenant-token connection may use: service RPCs,
+#: its own (namespace-stamped) job submission, and its cache partition.
+#: Everything else is the worker/supervisor surface — claiming queued
+#: points, posting results, stealing/expiring leases — which would let
+#: one tenant read or forge another tenant's work, so it is reserved
+#: for primary-token connections.
+TENANT_OPS = frozenset({
+    "submit", "job_status", "job_fetch", "job_cancel", "service_stats",
+    "put_job", "cache_fetch", "cache_put",
+})
+
+
+def parse_hostport(text: str, *, listening: bool = False) -> Tuple[str, int]:
     """``'127.0.0.1:8765'`` -> ``('127.0.0.1', 8765)``.
 
-    An empty host (``':8765'``, or just ``':0'``) means every interface
-    — the listening-side shorthand for ``0.0.0.0:PORT``.
+    With ``listening=True`` an empty host (``':8765'``, or just ``':0'``)
+    means every interface — the bind-side shorthand for ``0.0.0.0:PORT``.
+    Connect paths keep requiring an explicit host: connecting *to*
+    0.0.0.0 is platform-dependent, so an empty host there is an error,
+    not a guess.
     """
     host, sep, port = str(text).rpartition(":")
     try:
         if not sep:
             raise ValueError
-        return host or "0.0.0.0", int(port)
+        port_number = int(port)
     except ValueError:
         raise SystemGenerationError(
             f"bad address {text!r}: expected HOST:PORT, e.g. 127.0.0.1:8765"
         ) from None
+    if not host:
+        if not listening:
+            raise SystemGenerationError(
+                f"bad address {text!r}: a broker to connect to needs an "
+                "explicit host, e.g. 127.0.0.1:8765"
+            )
+        host = "0.0.0.0"
+    return host, port_number
 
 
 def resolve_token(token: Optional[str]) -> Optional[str]:
@@ -444,6 +467,16 @@ class BrokerServer:
                 })
                 return
             if hello.get("role") == "worker":
+                if tenant:
+                    # a worker claims and completes *any* tenant's
+                    # points, so it must hold the primary secret
+                    send_frame(conn, {
+                        "ok": False,
+                        "error": "workers must authenticate with the "
+                                 "primary broker token, not a tenant "
+                                 "token",
+                    })
+                    return
                 worker_id = str(hello.get("worker") or "")
                 if worker_id:
                     self.transport.heartbeat_worker(worker_id)
@@ -481,6 +514,16 @@ class BrokerServer:
         op = request.get("op")
         if worker_id:
             t.heartbeat_worker(worker_id)
+        if tenant and op not in TENANT_OPS:
+            # tenant isolation: the worker/supervisor surface could pop
+            # another tenant's queued point (leaking its source), post a
+            # forged result for it, or steal its in-flight results
+            return {
+                "ok": False,
+                "error": f"op {op!r} requires the primary broker token; "
+                         "tenant tokens may only submit jobs, poll/fetch/"
+                         "cancel their own, and use their cache namespace",
+            }, False
         if op in ("submit", "job_status", "job_fetch", "job_cancel"):
             if self.service is None:
                 return {
@@ -516,9 +559,10 @@ class BrokerServer:
         if op == "put_job":
             message = dict(request["message"])
             if tenant:
-                # a tenant driving the transport directly (an attached
-                # distributed sweep) still lands in its own namespace:
-                # workers read this stamp and wrap their cache
+                # a tenant's directly-enqueued points still land in its
+                # own namespace: workers read this stamp and wrap their
+                # cache (the rest of the transport surface — claiming,
+                # results, leases — stays primary-token only)
                 message["namespace"] = tenant
             t.put_job(message)
             return {"ok": True}, False
@@ -691,13 +735,19 @@ class TcpTransport:
                     pass
                 self._sock = None
 
-    def _call(self, request: Dict[str, object], *, pickled: bool = False):
+    def _call(
+        self,
+        request: Dict[str, object],
+        *,
+        pickled: bool = False,
+        raw: bool = False,
+    ):
         with self._lock:
             self._ensure_connected()
             assert self._sock is not None
             try:
                 send_frame(self._sock, request, pickled=pickled)
-                return recv_frame(self._sock, allow_pickle=True)
+                reply = recv_frame(self._sock, allow_pickle=True)
             except (TransportClosedError, OSError) as exc:
                 try:
                     self._sock.close()
@@ -708,6 +758,18 @@ class TcpTransport:
                     f"broker connection lost during {request.get('op')!r}: "
                     f"{exc}"
                 ) from None
+        if (not raw and isinstance(reply, dict)
+                and reply.get("ok") is False):
+            # a refusal (unknown op, or a tenant token on the
+            # primary-only surface) must surface as the broker's
+            # message, not as a KeyError on the missing reply field;
+            # service RPCs pass raw=True and interpret ok/busy flags
+            # themselves
+            raise SystemGenerationError(
+                f"broker refused {request.get('op')!r}: "
+                f"{reply.get('error', 'unknown error')}"
+            )
+        return reply
 
     # -- Transport protocol --------------------------------------------------
     def put_job(self, message: Dict[str, object]) -> None:

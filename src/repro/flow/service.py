@@ -26,11 +26,19 @@ Pieces, broker side:
   over ``max_jobs`` unfinished jobs (or ``max_tenant_jobs`` for one
   token) a submit is refused with :class:`BrokerBusyError` instead of
   growing the backlog — clients degrade gracefully, they never stall.
+  Retention keeps the standing broker bounded too: a terminal job is
+  purged ``terminal_ttl_seconds`` after it finishes (CLI
+  ``--retention-hours``), so unfetched results cannot accumulate
+  disk and recovery time forever.
 * Multi-tenancy — the broker's extra ``--tenant NAME=TOKEN`` secrets
   each map to a cache namespace (:func:`~repro.flow.store.
   namespaced_key`): a tenant's jobs are computed into, and served from,
   its own partition of the shared store, and its jobs cannot be fetched
-  or cancelled with another tenant's token.
+  or cancelled with another tenant's token.  Tenant tokens are confined
+  to this service surface (plus their cache namespace): the raw
+  worker/transport ops — claiming queued points, posting completions,
+  collecting results — require the primary token (see
+  :data:`~repro.flow.nettransport.TENANT_OPS`).
 
 Pieces, client side:
 
@@ -100,7 +108,7 @@ class _JobRecord:
     in the service directory; this is the scheduler's working copy)."""
 
     __slots__ = (
-        "job_id", "tenant", "points", "state", "created",
+        "job_id", "tenant", "points", "state", "created", "finished",
         "resolved", "failed_points", "attempts",
     )
 
@@ -111,6 +119,9 @@ class _JobRecord:
         self.points = points
         self.state = state
         self.created = float(created)
+        #: wall-clock time the job went terminal (retention clock);
+        #: None while unfinished
+        self.finished: Optional[float] = None
         #: point indexes whose result payload is persisted
         self.resolved: set = set()
         self.failed_points = 0
@@ -153,6 +164,7 @@ class JobService:
         max_jobs: int = 16,
         max_tenant_jobs: int = 8,
         poll_seconds: float = 0.05,
+        terminal_ttl_seconds: float = 86400.0,
     ) -> None:
         self.service_dir = pathlib.Path(service_dir)
         self.jobs_dir = self.service_dir / "jobs"
@@ -167,6 +179,11 @@ class JobService:
         self.max_jobs = max_jobs
         self.max_tenant_jobs = max_tenant_jobs
         self.poll_seconds = poll_seconds
+        #: a standing broker must not hoard finished jobs forever: a
+        #: terminal job older than this is purged (spec, results, and
+        #: the in-memory record) by the scheduler, like the transport's
+        #: tombstone TTL.  Clients get a full window to fetch.
+        self.terminal_ttl_seconds = terminal_ttl_seconds
         self._lock = threading.Lock()
         self._jobs: Dict[str, _JobRecord] = {}
         self._stop = threading.Event()
@@ -248,6 +265,10 @@ class JobService:
                     job.failed_points += 1
             if state in TERMINAL_STATES:
                 job.state = state
+                # the original finish time is gone with the old broker;
+                # restarting the retention clock keeps an unfetched job
+                # available for a full window after the restart
+                job.finished = time.time()
             else:
                 job.state = "running" if job.resolved else "queued"
                 for index in job.unresolved():
@@ -255,6 +276,10 @@ class JobService:
             self._jobs[job.job_id] = job
 
     def _enqueue_point(self, job: _JobRecord, index: int, attempt: int) -> None:
+        if job.state in TERMINAL_STATES:
+            # a cancel raced us; its tombstone would drop the result
+            # anyway, so don't burn a worker on a dead job's point
+            return
         source, options_spec = job.points[index]
         message = {
             "id": job.point_id(index),
@@ -322,10 +347,16 @@ class JobService:
             self._jobs[job.job_id] = job
             if not points:
                 job.state = "done"
+                job.finished = time.time()
                 self._persist_state(job)
                 return job.job_id
-        for index in range(len(points)):
-            self._enqueue_point(job, index, attempt=0)
+            # enqueue before releasing the lock: a cancel racing this
+            # submit must either see no job yet or find every point in
+            # the queue, never a half-enqueued job whose remaining
+            # points it cannot drop (put_job is cheap — the broker's
+            # transport is in-memory)
+            for index in range(len(points)):
+                self._enqueue_point(job, index, attempt=0)
         return job.job_id
 
     def _get(self, job_id: str, tenant: str) -> _JobRecord:
@@ -380,6 +411,7 @@ class JobService:
                 return {"job": job.job_id, "state": job.state,
                         "purged": True}
             job.state = "cancelled"
+            job.finished = time.time()
             self._persist_state(job)
             unresolved = {job.point_id(i) for i in job.unresolved()}
         # a tombstone drops in-flight straggler results; cancel_pending
@@ -427,6 +459,7 @@ class JobService:
                 "limits": {
                     "max_jobs": self.max_jobs,
                     "max_tenant_jobs": self.max_tenant_jobs,
+                    "terminal_ttl_seconds": self.terminal_ttl_seconds,
                 },
             }
 
@@ -439,9 +472,17 @@ class JobService:
         distinguish backpressure from failure."""
         try:
             if op == "submit":
-                points = [
-                    (p[0], p[1]) for p in request.get("points", [])
-                ]
+                raw_points = request.get("points")
+                if not isinstance(raw_points, (list, tuple)) or not all(
+                    isinstance(p, (list, tuple)) and len(p) == 2
+                    for p in raw_points
+                ):
+                    return {
+                        "ok": False,
+                        "error": "malformed submit: 'points' must be a "
+                                 "list of [source, options] pairs",
+                    }, False
+                points = [(p[0], p[1]) for p in raw_points]
                 return {"ok": True, "job": self.submit(points, tenant)}, False
             if op == "job_status":
                 return {
@@ -460,6 +501,13 @@ class JobService:
             return {"ok": False, "busy": True, "error": str(exc)}, False
         except SystemGenerationError as exc:
             return {"ok": False, "error": str(exc)}, False
+        except (TypeError, ValueError, KeyError) as exc:
+            # a structurally-bad request (options spec that is not a
+            # mapping, say) is the client's problem, reported in-band
+            return {
+                "ok": False,
+                "error": f"malformed {op} request: {exc!r}",
+            }, False
         return {"ok": False, "error": f"unknown service op {op!r}"}, False
 
     # -- scheduler -----------------------------------------------------------
@@ -482,6 +530,20 @@ class JobService:
         self._heal_leases(live)
         for job in live:
             self._maybe_finalize(job)
+        self._expire_terminal()
+
+    def _expire_terminal(self) -> None:
+        """Retention: purge terminal jobs whose fetch window has passed,
+        so a standing broker's disk and recovery time stay bounded."""
+        now = time.time()
+        with self._lock:
+            expired = [
+                j for j in self._jobs.values()
+                if j.state in TERMINAL_STATES and j.finished is not None
+                and now - j.finished >= self.terminal_ttl_seconds
+            ]
+            for job in expired:
+                self._purge(job)
 
     def _collect(self, job: _JobRecord) -> None:
         for index in job.unresolved():
@@ -495,6 +557,9 @@ class JobService:
             self._resolve(job, index, payload)
 
     def _resolve(self, job: _JobRecord, index: int, payload) -> None:
+        with self._lock:
+            if index in job.resolved or job.state in TERMINAL_STATES:
+                return  # duplicate post, or a cancel/purge won the race
         data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         path = self._result_path(job.job_id, index)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -502,6 +567,19 @@ class JobService:
         with self._lock:
             if index in job.resolved:
                 return  # duplicate post of a re-leased point
+            if job.state in TERMINAL_STATES:
+                # cancelled (maybe purged) while the payload was being
+                # written: take the file back out rather than leaving an
+                # orphan under results/
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                try:
+                    path.parent.rmdir()
+                except OSError:
+                    pass  # other results remain; purge removes them
+                return
             job.resolved.add(index)
             if isinstance(payload.get("outcome"), BaseException):
                 job.failed_points += 1
@@ -528,6 +606,8 @@ class JobService:
         """A point's worker died (or its result came back damaged):
         requeue within the retry budget, else fail the point."""
         with self._lock:
+            if job.state in TERMINAL_STATES:
+                return  # a cancel raced the scheduler: never requeue
             attempts = job.attempts.get(index, 0) + 1
             job.attempts[index] = attempts
         self.transport.release(job.point_id(index))
@@ -553,6 +633,7 @@ class JobService:
             if len(job.resolved) < len(job.points):
                 return
             job.state = "failed" if job.failed_points else "done"
+            job.finished = time.time()
             self._persist_state(job)
         # close the batch out: a straggler worker double-completing a
         # re-leased point must not strand a result in the queue state
@@ -572,6 +653,7 @@ def start_service_broker(
     max_jobs: int = 16,
     max_tenant_jobs: int = 8,
     poll_seconds: float = 0.05,
+    terminal_ttl_seconds: float = 86400.0,
 ):
     """A listening :class:`~repro.flow.nettransport.BrokerServer` with a
     running :class:`JobService` attached — the body of ``cfdlang-flow
@@ -598,6 +680,7 @@ def start_service_broker(
         max_jobs=max_jobs,
         max_tenant_jobs=max_tenant_jobs,
         poll_seconds=poll_seconds,
+        terminal_ttl_seconds=terminal_ttl_seconds,
     )
     server = BrokerServer(
         host, port, token, cache,
@@ -650,7 +733,7 @@ class ServiceClient:
         self.close()
 
     def _rpc(self, request: Dict[str, object], *, pickled: bool = False):
-        reply = self.transport._call(request, pickled=pickled)
+        reply = self.transport._call(request, pickled=pickled, raw=True)
         if not isinstance(reply, dict) or not reply.get("ok"):
             error = (reply or {}).get("error", f"{request.get('op')} failed")
             if (reply or {}).get("busy"):

@@ -293,12 +293,19 @@ class TestBrokerServer:
     def test_parse_hostport(self):
         assert parse_hostport("127.0.0.1:8765") == ("127.0.0.1", 8765)
         assert parse_hostport("[::1]:1") == ("[::1]", 1)
-        # an empty host is the every-interface listening shorthand
-        assert parse_hostport(":123") == ("0.0.0.0", 123)
-        assert parse_hostport(":0") == ("0.0.0.0", 0)
+        # an empty host is the every-interface shorthand on the
+        # *listening* side only; as a connect destination 0.0.0.0 is
+        # platform-dependent, so connect paths demand an explicit host
+        assert parse_hostport(":123", listening=True) == ("0.0.0.0", 123)
+        assert parse_hostport(":0", listening=True) == ("0.0.0.0", 0)
+        for empty in (":123", ":0"):
+            with pytest.raises(SystemGenerationError, match="explicit host"):
+                parse_hostport(empty)
         for bad in ("nope", "host:", "host:abc"):
             with pytest.raises(SystemGenerationError, match="HOST:PORT"):
                 parse_hostport(bad)
+            with pytest.raises(SystemGenerationError, match="HOST:PORT"):
+                parse_hostport(bad, listening=True)
 
     def test_cache_rpcs_roundtrip_entries(self, tmp_path):
         cache = DiskStageCache(tmp_path / "broker-cache")

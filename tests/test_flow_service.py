@@ -29,7 +29,13 @@ from repro.flow import (
     namespaced_key,
 )
 from repro.flow.distributed import WorkerCrashError, run_worker
-from repro.flow.nettransport import BrokerServer, MemoryTransport, run_tcp_worker
+from repro.flow.nettransport import (
+    BrokerAuthError,
+    BrokerServer,
+    MemoryTransport,
+    TcpTransport,
+    run_tcp_worker,
+)
 from repro.flow.service import (
     TERMINAL_STATES,
     mint_job_id,
@@ -338,6 +344,62 @@ class TestJobServiceUnit:
             (payload,) = service.fetch(job_id)
             assert isinstance(payload["outcome"], WorkerCrashError)
 
+    def test_malformed_submit_is_replied_not_raised(self, tmp_path):
+        """handle_rpc's contract: a bad request is an ok:False reply,
+        never an exception that would tear the connection down."""
+        service = JobService(tmp_path, MemoryTransport())
+        for bad in (None, "text", 7, [HELMHOLTZ_DSL],
+                    [["source-only"]], [[HELMHOLTZ_DSL, None, "extra"]]):
+            reply, pickled = service.handle_rpc(
+                "submit", {"points": bad}, ""
+            )
+            assert reply["ok"] is False and not pickled
+            assert "malformed" in reply["error"]
+        # right shape, wrong leaf type (an options spec must be a
+        # mapping): still an in-band reply, not a torn connection
+        reply, _ = service.handle_rpc(
+            "submit", {"points": [[HELMHOLTZ_DSL, 5]]}, ""
+        )
+        assert reply["ok"] is False
+        assert not service._jobs  # nothing half-admitted
+
+    def test_terminal_jobs_expire_after_retention(self, tmp_path):
+        service = JobService(
+            tmp_path / "gc", MemoryTransport(), terminal_ttl_seconds=0.0
+        )
+        job_id = service.submit([])  # no points: immediately done
+        assert service.status(job_id)["state"] == "done"
+        service._expire_terminal()
+        with pytest.raises(SystemGenerationError, match="no job"):
+            service.status(job_id)
+        assert not list(service.jobs_dir.glob("*.json"))
+        assert not list(service.state_dir.glob("*.json"))
+        # inside the retention window nothing is touched
+        keeper = JobService(
+            tmp_path / "keep", MemoryTransport(),
+            terminal_ttl_seconds=3600.0,
+        )
+        job_id = keeper.submit([])
+        keeper._expire_terminal()
+        assert keeper.status(job_id)["state"] == "done"
+
+    def test_cancel_blocks_requeue_and_orphan_results(self, tmp_path):
+        """A heal/collect racing a cancel must neither put a dead job's
+        point back in the queue nor write a result file for it."""
+        transport = MemoryTransport()
+        service = JobService(tmp_path, transport)
+        job_id = service.submit([(HELMHOLTZ_DSL, None)])
+        service.cancel(job_id)
+        assert transport.claim_job() is None  # cancel drained the queue
+        job = service._jobs[job_id]
+        service._enqueue_point(job, 0, attempt=1)  # a racing heal
+        assert transport.claim_job() is None
+        service._resolve(job, 0, {  # a racing straggler collect
+            "id": job.point_id(0), "index": 0,
+            "outcome": None, "events": [], "deltas": {},
+        })
+        assert not (service.results_dir / job_id).exists()
+
     def test_namespaced_key_partitions_without_changing_shape(self):
         key = "a" * 64
         assert namespaced_key("", key) == key  # primary token: identity
@@ -475,6 +537,70 @@ class TestTenantNamespaces:
             assert not run_as("alice-secret", "w1")  # cold: computed
             assert run_as("alice-secret", "w2")  # warm in her namespace
             assert not run_as("bob-secret", "w3")  # his namespace is cold
+        finally:
+            server.close()
+
+    def test_tenant_token_cannot_drive_the_transport(self, tmp_path):
+        """The worker/supervisor surface is primary-token only: a tenant
+        token must not claim another tenant's queued points (leaking its
+        source), forge a completion, or steal in-flight results."""
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(tmp_path / "cache"),
+            tmp_path / "service", poll_seconds=0.01,
+            tenants={"alice": "alice-secret", "mallory": "mallory-secret"},
+        )
+        try:
+            with ServiceClient(server.address, "alice-secret") as alice:
+                job = alice.submit(spec_points(GRID[:1]))
+                pid = f"{job.job_id}-00000"
+                mallory = TcpTransport(
+                    server.address, "mallory-secret"
+                ).connect()
+                try:
+                    for blocked in (
+                        lambda: mallory.claim_job(),
+                        lambda: mallory.complete(pid, {"forged": True}),
+                        lambda: mallory.take_result(pid),
+                        lambda: mallory.expired_leases(0.0),
+                        lambda: mallory.release(pid),
+                        lambda: mallory.cancel_pending({pid}),
+                        lambda: mallory.mark_batch_done(job.job_id),
+                        lambda: mallory.batch_done(pid),
+                        lambda: mallory.alive_workers(60.0),
+                    ):
+                        with pytest.raises(
+                            SystemGenerationError,
+                            match="primary broker token",
+                        ):
+                            blocked()
+                finally:
+                    mallory.close()
+                # alice's point survived every probe, queued for a real
+                # (primary-token) worker, stamped with her namespace
+                primary = TcpTransport(server.address, TOKEN).connect()
+                try:
+                    message = primary.claim_job()
+                    assert message is not None and message["id"] == pid
+                    assert message["namespace"] == "alice"
+                    primary.release(message["id"])
+                finally:
+                    primary.close()
+                alice.cancel(job.job_id)
+        finally:
+            server.close()
+
+    def test_worker_hello_with_tenant_token_is_rejected(self, tmp_path):
+        server = start_service_broker(
+            "127.0.0.1", 0, TOKEN, DiskStageCache(tmp_path / "cache"),
+            tmp_path / "service", poll_seconds=0.01,
+            tenants={"alice": "alice-secret"},
+        )
+        try:
+            with pytest.raises(BrokerAuthError, match="primary"):
+                TcpTransport(
+                    server.address, "alice-secret",
+                    role="worker", worker_id="w-alice",
+                ).connect()
         finally:
             server.close()
 
