@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.codegen.kernel import StagePlan, stage_plans
 from repro.errors import IRError
+from repro.layout.layout import Layout
 from repro.poly.aff import AffTuple
 from repro.poly.schedule import PolyProgram
 
@@ -86,6 +87,21 @@ def compile_python_kernel(source: str, name: str = "kernel_body") -> Callable:
     return ns[name]  # type: ignore[return-value]
 
 
+def pack_array(flat: np.ndarray, layout: Layout, arr: np.ndarray) -> None:
+    """Scatter a tensor into its flat, layout-addressed buffer.
+
+    Vectorized over a precomputed flat-address index array (cached per
+    ``(shape, layout)`` — see :func:`repro.layout.layout.
+    flat_index_array`) instead of an ``np.ndindex`` Python loop.
+    """
+    flat[layout.flat_indices().reshape(-1)] = np.ascontiguousarray(arr).reshape(-1)
+
+
+def unpack_array(flat: np.ndarray, layout: Layout) -> np.ndarray:
+    """Gather a tensor back out of its flat buffer (vectorized)."""
+    return flat[layout.flat_indices()]
+
+
 def run_python_kernel(
     prog: PolyProgram, inputs: Mapping[str, np.ndarray], name: str = "kernel_body"
 ) -> Dict[str, np.ndarray]:
@@ -102,18 +118,10 @@ def run_python_kernel(
         arr = np.asarray(inputs[d.name], dtype=np.float64)
         if arr.shape != d.shape:
             raise IRError(f"input {d.name!r} shape {arr.shape} != {d.shape}")
-        layout = prog.layouts[d.name]
-        flat = buffers[d.name]
-        for idx in np.ndindex(*d.shape):
-            flat[layout.address(idx)] = arr[idx]
+        pack_array(buffers[d.name], prog.layouts[d.name], arr)
     params = [d.name for d in fn.interface()] + [d.name for d in fn.temporaries()]
     kernel(*[buffers[p] for p in params])
-    out: Dict[str, np.ndarray] = {}
-    for d in fn.outputs():
-        layout = prog.layouts[d.name]
-        arr = np.zeros(d.shape, dtype=np.float64)
-        flat = buffers[d.name]
-        for idx in np.ndindex(*d.shape):
-            arr[idx] = flat[layout.address(idx)]
-        out[d.name] = arr
-    return out
+    return {
+        d.name: unpack_array(buffers[d.name], prog.layouts[d.name])
+        for d in fn.outputs()
+    }

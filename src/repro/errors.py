@@ -59,3 +59,7 @@ class SystemGenerationError(ReproError):
 
 class SimulationError(ReproError):
     """Inconsistent simulation configuration."""
+
+
+class ExecBackendError(ReproError):
+    """Unknown or unavailable kernel execution backend."""

@@ -1,0 +1,156 @@
+"""The ``cnative`` execution backend: the generated C99 kernel, compiled.
+
+Takes the exact kernel source the flow emits for HLS
+(:func:`repro.codegen.kernel.generate_kernel`), compiles it with the
+system C compiler into a shared library, and drives it per element
+through ``ctypes``.  ``-ffp-contract=off`` keeps the compiler from
+fusing multiply-adds so the arithmetic matches the sequential reference
+loops; ``#pragma HLS`` lines are unknown pragmas to a host compiler and
+are ignored.  Compiled libraries are cached by source hash for the
+process lifetime and removed at exit.
+
+The backend reports itself unavailable (and callers auto-skip it) when
+no C compiler is on ``PATH``; set ``CFDLANG_CC`` to pick a specific one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.codegen.kernel import generate_kernel
+from repro.codegen.pyemit import pack_array, unpack_array
+from repro.errors import ExecBackendError
+from repro.exec.backend import (
+    ExecBackend,
+    checked_batch_inputs,
+    consistent_batch_size,
+    resolved_program,
+)
+from repro.poly.schedule import PolyProgram
+from repro.teil.program import Function
+
+_CC_CANDIDATES = ("cc", "gcc", "clang")
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-std=c99", "-ffp-contract=off"]
+
+_build_dir: Optional[str] = None
+_compiled: Dict[str, Callable] = {}
+
+
+def find_compiler() -> Optional[str]:
+    """Path of the C compiler to use, or None when the host has none."""
+    override = os.environ.get("CFDLANG_CC")
+    if override:
+        return shutil.which(override)
+    for cand in _CC_CANDIDATES:
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def _ensure_build_dir() -> str:
+    global _build_dir
+    if _build_dir is None:
+        _build_dir = tempfile.mkdtemp(prefix="cfdlang-cnative-")
+        atexit.register(shutil.rmtree, _build_dir, True)
+    return _build_dir
+
+
+def compile_kernel_library(source: str, n_params: int) -> Callable:
+    """Compile C kernel source and return the ctypes entry point.
+
+    Cached by source hash; raises :class:`ExecBackendError` when no
+    compiler is found or the compile fails.
+    """
+    key = hashlib.sha256(source.encode()).hexdigest()
+    if key in _compiled:
+        return _compiled[key]
+    cc = find_compiler()
+    if cc is None:
+        raise ExecBackendError(
+            "no C compiler found (tried $CFDLANG_CC, cc, gcc, clang)"
+        )
+    build = _ensure_build_dir()
+    c_path = os.path.join(build, f"kernel-{key[:16]}.c")
+    so_path = os.path.join(build, f"kernel-{key[:16]}.so")
+    with open(c_path, "w") as fh:
+        fh.write(source)
+    proc = subprocess.run(
+        [cc, *_CFLAGS, "-o", so_path, c_path],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise ExecBackendError(
+            f"C compile of generated kernel failed ({cc}):\n{proc.stderr}"
+        )
+    lib = ctypes.CDLL(so_path)
+    entry = lib.kernel_body
+    entry.restype = None
+    entry.argtypes = [ctypes.POINTER(ctypes.c_double)] * n_params
+    _compiled[key] = entry
+    return entry
+
+
+class CNativeBackend(ExecBackend):
+    """Per-element execution of the compiled generated C kernel."""
+
+    name = "cnative"
+
+    def available(self) -> bool:
+        return find_compiler() is not None
+
+    def unavailable_reason(self) -> Optional[str]:
+        if self.available():
+            return None
+        return "no C compiler on PATH (tried $CFDLANG_CC, cc, gcc, clang)"
+
+    def run_batch(
+        self,
+        fn: Function,
+        elements: Mapping[str, np.ndarray],
+        static_inputs: Mapping[str, np.ndarray],
+        element_inputs: Sequence[str],
+        prog: Optional[PolyProgram] = None,
+    ) -> Dict[str, np.ndarray]:
+        prog = resolved_program(fn, prog)
+        fn = prog.function
+        ne = consistent_batch_size(elements, element_inputs)
+        inputs = checked_batch_inputs(fn, elements, static_inputs, element_inputs)
+
+        code = generate_kernel(prog)
+        entry = compile_kernel_library(code.source, len(code.interface_params))
+
+        buffers: Dict[str, np.ndarray] = {
+            p: np.zeros(prog.layouts[p].size, dtype=np.float64)
+            for p in code.interface_params
+        }
+        args = [
+            buffers[p].ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+            for p in code.interface_params
+        ]
+        streamed = [d.name for d in fn.inputs() if d.name in set(element_inputs)]
+        for d in fn.inputs():
+            if d.name not in streamed:
+                pack_array(buffers[d.name], prog.layouts[d.name], inputs[d.name])
+
+        out_decls = fn.outputs()
+        outs: Dict[str, List[np.ndarray]] = {d.name: [] for d in out_decls}
+        for e in range(ne):
+            for name in streamed:
+                pack_array(buffers[name], prog.layouts[name], inputs[name][e])
+            entry(*args)
+            for d in out_decls:
+                outs[d.name].append(
+                    unpack_array(buffers[d.name], prog.layouts[d.name])
+                )
+        return {n: np.stack(v) for n, v in outs.items()}

@@ -3,6 +3,7 @@
     cfdlang-flow examples/helmholtz.cfd -o build/ --ne 50000
     cfdlang-flow --app helmholtz --no-sharing -k 8 -m 8
     cfdlang-flow --app helmholtz --board alveo-u280 --simulate
+    cfdlang-flow --app helmholtz --exec-backend numpy --functional-ne 64
     cfdlang-flow --app helmholtz --sweep 1x1,2x2,4x4 --jobs 4 --trace
     cfdlang-flow --app helmholtz --sweep 1x1,8x8 --executor process --jobs 4 \\
         --cache-dir .flowcache
@@ -74,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="flatten")
     p.add_argument("--simulate", action="store_true",
                    help="print the performance simulation for the system")
+    p.add_argument("--exec-backend", default=None, metavar="NAME",
+                   help="also run a functional batch with this execution "
+                        "backend and report its throughput (see "
+                        "--list-backends; e.g. loops, numpy, cnative)")
+    p.add_argument("--functional-ne", type=int, default=8, metavar="N",
+                   help="batch size of the --exec-backend functional run "
+                        "(default 8)")
+    p.add_argument("--list-backends", action="store_true",
+                   help="list the kernel execution backends and exit")
     p.add_argument("--sweep", metavar="K1xM1,K2xM2,...", default=None,
                    help="compile a k x m design-space sweep through the "
                         "staged flow (e.g. 1x1,2x2,4x4,8x8,16x16); the "
@@ -140,6 +150,20 @@ def _print_stages() -> None:
     ]
     print(ascii_table(["stage", "inputs", "outputs", "description"], rows,
                       title="Registered flow stages"))
+
+
+def _print_backends() -> None:
+    from repro.exec import backend_names, get_backend
+    from repro.utils import ascii_table
+
+    rows = []
+    for name in backend_names():
+        b = get_backend(name)
+        status = "yes" if b.available() else f"no ({b.unavailable_reason()})"
+        doc = (b.__class__.__doc__ or "").strip().splitlines()[0]
+        rows.append((name, status, doc))
+    print(ascii_table(["backend", "available", "description"], rows,
+                      title="Kernel execution backends"))
 
 
 def _print_boards() -> None:
@@ -495,6 +519,12 @@ def build_service_parser(verb: str) -> argparse.ArgumentParser:
                        help="the k x m design points to compile")
         p.add_argument("--ne", type=int, default=50_000,
                        help="number of CFD elements to simulate")
+        p.add_argument("--exec-backend", default=None, metavar="NAME",
+                       help="run a functional batch on the workers with "
+                            "this execution backend (loops, numpy, "
+                            "cnative)")
+        p.add_argument("--functional-ne", type=int, default=8, metavar="N",
+                       help="batch size of that functional run (default 8)")
     else:
         p.add_argument("job", metavar="JOB_ID",
                        help="the id 'cfdlang-flow submit' printed")
@@ -575,7 +605,11 @@ def _submit_main(args, client) -> int:
         print("error: provide a source file or --app", file=sys.stderr)
         return 2
     text = source_fingerprint(source)
-    options = FlowOptions(system=SystemOptions(n_elements=args.ne))
+    options = FlowOptions(system=SystemOptions(
+        n_elements=args.ne,
+        exec_backend=args.exec_backend,
+        functional_elements=args.functional_ne,
+    ))
     points = [
         (
             text,
@@ -856,6 +890,17 @@ def main(argv=None) -> int:
     if args.list_boards:
         _print_boards()
         return 0
+    if args.list_backends:
+        _print_backends()
+        return 0
+    if args.exec_backend is not None:
+        from repro.exec import backend_names
+
+        if args.exec_backend not in backend_names():
+            print(f"error: unknown execution backend "
+                  f"{args.exec_backend!r}; backends are: "
+                  f"{', '.join(backend_names())}", file=sys.stderr)
+            return 2
     if args.stop_after is not None and args.stop_after not in stage_names():
         print(f"error: unknown stage {args.stop_after!r}; "
               f"stages are: {', '.join(stage_names())}", file=sys.stderr)
@@ -883,7 +928,9 @@ def main(argv=None) -> int:
         sharing=sharing,
         temporaries_internal=args.temporaries_internal,
         system=SystemOptions(
-            k=args.k, m=args.m, board=board, n_elements=args.ne
+            k=args.k, m=args.m, board=board, n_elements=args.ne,
+            exec_backend=args.exec_backend,
+            functional_elements=args.functional_ne,
         ),
     )
     cache = (
@@ -924,6 +971,8 @@ def main(argv=None) -> int:
     print(result.system.summary())
     if args.simulate:
         print(result.sim.summary())
+    if result.functional is not None:
+        print(str(result.functional))
     if trace is not None:
         print(trace.summary())
     if args.cache_dir or args.trace:

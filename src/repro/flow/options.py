@@ -41,6 +41,12 @@ class SystemOptions:
     n_elements: int = 50_000
     #: model the future-work overlapped transfer strategy (Sec. VIII)
     overlap_transfers: bool = False
+    #: run a functional batch in the simulate stage with this execution
+    #: backend ("loops" | "numpy" | "cnative", see :mod:`repro.exec`);
+    #: None keeps the analytic-only simulate stage
+    exec_backend: Optional[str] = None
+    #: batch size of that functional run
+    functional_elements: int = 8
 
 
 @dataclass(frozen=True)
@@ -117,6 +123,8 @@ class FlowOptions:
                 ),
                 "n_elements": self.system.n_elements,
                 "overlap_transfers": self.system.overlap_transfers,
+                "exec_backend": self.system.exec_backend,
+                "functional_elements": self.system.functional_elements,
             },
         }
 
@@ -153,5 +161,10 @@ class FlowOptions:
                 ),
                 n_elements=system["n_elements"],
                 overlap_transfers=system["overlap_transfers"],
+                # .get(): durable job specs written by earlier releases
+                # (the standing broker reloads them from disk) predate
+                # these keys
+                exec_backend=system.get("exec_backend"),
+                functional_elements=system.get("functional_elements", 8),
             ),
         )

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Union
 from repro.cfdlang import Program
 from repro.codegen import KernelCode
 from repro.errors import SystemGenerationError
+from repro.exec.backend import FunctionalRecord
 from repro.hls import HlsReport
 from repro.memory import CompatibilityGraph
 from repro.mnemosyne import MnemosyneConfig, PortClass
@@ -54,6 +55,9 @@ class FlowResult:
     port_classes: Dict[str, PortClass]
     system: Optional[SystemDesign] = None
     sim: Optional[SimulationResult] = None
+    #: throughput record of the simulate stage's functional batch (only
+    #: when :attr:`SystemOptions.exec_backend` selected a backend)
+    functional: Optional[FunctionalRecord] = None
 
     # -- transfer footprint ---------------------------------------------------
     def transfer_footprint(self) -> TransferFootprint:

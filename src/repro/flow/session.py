@@ -79,7 +79,13 @@ class FlowTrace:
     def __init__(self, observers: Sequence = ()) -> None:
         self.events: List[StageEvent] = []
         self.observers = list(observers)
+        self.metrics: Dict[str, object] = {}
         self._lock = threading.Lock()
+
+    def record_metric(self, name: str, value: object) -> None:
+        """Attach a named scalar observation (e.g. functional throughput)."""
+        with self._lock:
+            self.metrics[name] = value
 
     def record(
         self, stage: str, seconds: float, cached: bool, origin: str = ""
@@ -167,12 +173,16 @@ class FlowTrace:
             title="Flow trace",
         )
         n_hits = sum(mem.values()) + sum(disk.values()) + sum(remote.values())
-        return table + (
+        out = table + (
             f"\ncache hit rate: {self.hit_rate() * 100:.1f}% "
             f"({n_hits}/{len(self.events)} stage lookups; "
             f"{sum(mem.values())} memory, {sum(disk.values())} disk, "
             f"{sum(remote.values())} remote)"
         )
+        if self.metrics:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.metrics.items()))
+            out += f"\nmetrics: {pairs}"
+        return out
 
 
 _override_counter = 0
@@ -387,6 +397,12 @@ class Flow:
         from repro.flow.pipeline import FlowResult
 
         self.run_until(FINAL_STAGE)
+        functional = self.state.get("functional")
+        if functional is not None and self.trace is not None:
+            self.trace.record_metric("exec-backend", functional.backend)
+            self.trace.record_metric(
+                "elements/sec", round(functional.elements_per_sec, 1)
+            )
         return FlowResult(
             options=self.options,
             program=self.state["program"],
@@ -400,6 +416,7 @@ class Flow:
             port_classes=self.state["port_classes"],
             system=self.state["system"],
             sim=self.state["sim"],
+            functional=functional,
         )
 
 

@@ -33,7 +33,7 @@ from repro.teil import canonicalize, lower_program
 from repro.teil.program import Function
 
 #: bump when a stage's semantics change, to invalidate stale cache entries
-STAGE_API_VERSION = 1
+STAGE_API_VERSION = 2
 
 StageFn = Callable[[Mapping[str, object], FlowOptions], Dict[str, object]]
 ParamFn = Callable[[FlowOptions], Tuple]
@@ -314,10 +314,50 @@ def _run_build_system(state, options):
     }
 
 
+def _run_functional_batch(state, options):
+    """Execute a functional smoke batch with the selected backend.
+
+    Streamed inputs are the interface arrays the system transfers per
+    element (the transfer footprint's streamed inputs); everything else
+    gets deterministic static data.  Returns the throughput record.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.exec import FunctionalRecord, require_backend
+    from repro.system.integration import transfer_footprint
+
+    prog = state["poly"]
+    fn = prog.function
+    backend = require_backend(options.system.exec_backend)
+    ne = options.system.functional_elements
+    footprint = transfer_footprint(fn, state["port_classes"])
+    streamed = [d.name for d in fn.inputs() if d.name in footprint.streamed]
+    rng = np.random.default_rng(0)
+    elements = {n: rng.random((ne,) + fn.decls[n].shape) for n in streamed}
+    static = {
+        d.name: rng.random(d.shape)
+        for d in fn.inputs()
+        if d.name not in set(streamed)
+    }
+    t0 = time.perf_counter()
+    backend.run_batch(fn, elements, static, streamed, prog=prog)
+    seconds = time.perf_counter() - t0
+    return FunctionalRecord(
+        backend=backend.name, n_elements=ne, seconds=seconds
+    )
+
+
 def _run_simulate(state, options):
+    functional = (
+        _run_functional_batch(state, options)
+        if options.system.exec_backend is not None
+        else None
+    )
     system = state["system"]
     if system is None:
-        return {"sim": None}
+        return {"sim": None, "functional": functional}
     from repro.sim.simulator import simulate_system
 
     return {
@@ -325,7 +365,8 @@ def _run_simulate(state, options):
             system,
             options.system.n_elements,
             overlap_transfers=options.system.overlap_transfers,
-        )
+        ),
+        "functional": functional,
     }
 
 
@@ -450,11 +491,19 @@ register_stage(Stage(
 ))
 register_stage(Stage(
     name="simulate",
-    inputs=("system",),
-    outputs=("sim",),
+    inputs=("system", "poly", "port_classes"),
+    outputs=("sim", "functional"),
     run=_run_simulate,
-    params=lambda o: (o.system.n_elements, o.system.overlap_transfers),
-    description="end-to-end performance simulation (Ne elements)",
+    params=lambda o: (
+        o.system.n_elements,
+        o.system.overlap_transfers,
+        o.system.exec_backend,
+        o.system.functional_elements,
+    ),
+    description=(
+        "end-to-end performance simulation (Ne elements) + optional "
+        "functional batch on the selected execution backend"
+    ),
 ))
 
 FINAL_STAGE = stage_names()[-1]

@@ -43,10 +43,9 @@ def cosimulate(
     a multiple of m (the paper's runs are: 50,000 = 3,125 * 16).
     """
     k, m, batch = design.k, design.m, design.batch
-    ne_values = {v.shape[0] for v in element_inputs.values()}
-    if len(ne_values) != 1:
-        raise SimulationError("inconsistent element counts")
-    ne = ne_values.pop()
+    from repro.exec import consistent_batch_size
+
+    ne = consistent_batch_size(element_inputs, list(element_inputs))
     if ne % m != 0:
         raise SimulationError(f"Ne={ne} must be a multiple of m={m}")
     host = HostModel(ne, k, m)

@@ -16,7 +16,12 @@ from typing import Dict, Mapping
 
 import numpy as np
 
-from repro.codegen.pyemit import compile_python_kernel, generate_python_kernel
+from repro.codegen.pyemit import (
+    compile_python_kernel,
+    generate_python_kernel,
+    pack_array,
+    unpack_array,
+)
 from repro.errors import IRError, MemoryArchitectureError
 from repro.mnemosyne.plm import MemorySubsystem
 from repro.poly.schedule import PolyProgram
@@ -51,18 +56,10 @@ def run_python_kernel_shared(
         arr = np.asarray(inputs[d.name], dtype=np.float64)
         if arr.shape != d.shape:
             raise IRError(f"input {d.name!r} shape {arr.shape} != {d.shape}")
-        layout = prog.layouts[d.name]
-        flat = buffers[d.name]
-        for idx in np.ndindex(*d.shape):
-            flat[layout.address(idx)] = arr[idx]
+        pack_array(buffers[d.name], prog.layouts[d.name], arr)
     params = [d.name for d in fn.interface()] + [d.name for d in fn.temporaries()]
     kernel(*[buffers[p] for p in params])
-    out: Dict[str, np.ndarray] = {}
-    for d in fn.outputs():
-        layout = prog.layouts[d.name]
-        arr = np.zeros(d.shape, dtype=np.float64)
-        flat = buffers[d.name]
-        for idx in np.ndindex(*d.shape):
-            arr[idx] = flat[layout.address(idx)]
-        out[d.name] = arr
-    return out
+    return {
+        d.name: unpack_array(buffers[d.name], prog.layouts[d.name])
+        for d in fn.outputs()
+    }

@@ -20,11 +20,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import SimulationError
 from repro.sim.cpu import CpuModel, simulate_software
 from repro.system.host import HostModel
 from repro.system.integration import SystemDesign
-from repro.teil.interp import interpret
 from repro.teil.program import Function
 
 
@@ -194,26 +192,26 @@ def run_functional(
     elements: Dict[str, np.ndarray],
     static_inputs: Dict[str, np.ndarray],
     element_inputs: List[str],
+    *,
+    backend: str = "numpy",
+    prog=None,
 ) -> Dict[str, np.ndarray]:
     """Execute the kernel functionally over a batch of elements.
 
     ``elements[name]`` has shape ``(Ne, *tensor_shape)`` for each streamed
     input; static operands are shared.  Returns stacked outputs.
+
+    ``backend`` selects the execution strategy (see :mod:`repro.exec`):
+    ``"numpy"`` (default) vectorizes the whole batch, ``"loops"`` runs
+    the generated-Python reference per element, ``"cnative"`` drives the
+    compiled C kernel.  ``prog`` optionally supplies the scheduled,
+    laid-out program for the generated-kernel backends.
     """
-    names = [d.name for d in fn.outputs()]
-    ne_values = {elements[n].shape[0] for n in element_inputs}
-    if len(ne_values) != 1:
-        raise SimulationError(f"inconsistent element counts: {ne_values}")
-    ne = ne_values.pop()
-    outs: Dict[str, List[np.ndarray]] = {n: [] for n in names}
-    for e in range(ne):
-        inputs = dict(static_inputs)
-        for n in element_inputs:
-            inputs[n] = elements[n][e]
-        result = interpret(fn, inputs)
-        for n in names:
-            outs[n].append(result[n])
-    return {n: np.stack(v) for n, v in outs.items()}
+    from repro.exec import require_backend  # deferred: exec imports sim types
+
+    return require_backend(backend).run_batch(
+        fn, elements, static_inputs, element_inputs, prog=prog
+    )
 
 
 def software_baseline_seconds(

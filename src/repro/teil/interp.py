@@ -34,6 +34,21 @@ def _einsum_spec(op: Contraction) -> str:
     return f"{ins}->{outs}"
 
 
+def einsum_spec(op: Contraction, batched: bool = False) -> str:
+    """The einsum subscript string for a contraction.
+
+    ``batched=True`` prefixes an ellipsis to every operand and the output,
+    so operands carrying a leading element axis broadcast against static
+    operands — the spec the vectorized :mod:`repro.exec` NumPy backend
+    executes once per stage for a whole element batch.
+    """
+    spec = _einsum_spec(op)
+    if not batched:
+        return spec
+    ins, _, outs = spec.partition("->")
+    return ",".join("..." + part for part in ins.split(",")) + "->..." + outs
+
+
 def eval_contraction(op: Contraction, env: Mapping[str, np.ndarray]) -> np.ndarray:
     return np.einsum(_einsum_spec(op), *[env[o] for o in op.operands])
 
