@@ -9,6 +9,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.sim import simulate_software
+from repro.sim.cpu import measured_sw_seconds_per_element
 from repro.utils import ascii_barchart, ascii_table
 
 NE = 50_000
@@ -46,6 +47,22 @@ def test_fig10_vs_arm(benchmark, flow_sharing, out_dir):
     text += "\n\n" + ascii_barchart(
         list(PAPER), [series[n] for n in PAPER], title="speedup vs SW Ref", unit="x"
     )
+    # measured sanity anchor: the generated C compiled and timed on this
+    # host through the cnative backend (no A53 here, so only the order of
+    # magnitude and kernel-to-kernel ratios are meaningful); skipped
+    # cleanly when the environment has no C compiler
+    measured = measured_sw_seconds_per_element(
+        flow_sharing.function, flow_sharing.poly, n_elements=32
+    )
+    if measured is not None:
+        modeled = simulate_software(flow_sharing.function, 1, variant="hls_c")
+        text += (
+            f"\n\nmeasured host C baseline (cnative): "
+            f"{measured * 1e6:.1f} us/element "
+            f"(A53 model: {modeled * 1e6:.1f} us/element)"
+        )
+    else:
+        text += "\n\nmeasured host C baseline: skipped (no C compiler)"
     emit(out_dir, "fig10_vs_arm.txt", text)
 
     for name, expected in PAPER.items():

@@ -21,6 +21,11 @@ from repro.apps.preconditioner import (
     preconditioner_program,
     reference_preconditioner,
 )
+from repro.apps.workloads import (
+    WORKLOAD_SUITES,
+    Workload,
+    make_workload,
+)
 
 __all__ = [
     "preconditioner_program",
@@ -34,4 +39,7 @@ __all__ = [
     "reference_interpolation",
     "gradient_program",
     "reference_gradient",
+    "Workload",
+    "WORKLOAD_SUITES",
+    "make_workload",
 ]

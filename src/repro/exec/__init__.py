@@ -17,6 +17,7 @@ from repro.exec.backend import (
 from repro.exec.cnative import CNativeBackend
 from repro.exec.loops import LoopsBackend
 from repro.exec.numpy_backend import NumpyBackend
+from repro.exec.programs import chain_element_inputs, run_chain_batch
 
 register_backend(LoopsBackend())
 register_backend(NumpyBackend())
@@ -34,4 +35,6 @@ __all__ = [
     "get_backend",
     "register_backend",
     "require_backend",
+    "run_chain_batch",
+    "chain_element_inputs",
 ]

@@ -1,0 +1,103 @@
+"""Functional execution of multi-kernel chains over element batches.
+
+:func:`run_chain_batch` drives an ordered sequence of compiled kernels
+— ``(Function, PolyProgram)`` pairs, e.g. :meth:`repro.flow.program.
+ProgramResult.chain` — through one execution backend, threading tensors
+between kernels: an output of kernel *i* that a later kernel declares as
+input is consumed from the batch, not re-supplied by the caller.  This
+is the numeric inner loop of a :class:`~repro.flow.solver.SolverLoop`
+time step.
+
+Tensors live in two environments, mirroring the system model's
+static/streamed operand split: *streamed* tensors carry a leading
+element axis ``(Ne, *shape)`` and flow through ``backend.run_batch``;
+*static* tensors (operator matrices and the like) are shared across
+elements.  A kernel with at least one streamed input runs batched on
+the backend; a kernel reading only static tensors runs once through the
+interpreter and its outputs join the static environment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.exec.backend import ExecBackend, require_backend
+from repro.poly.schedule import PolyProgram
+from repro.teil.interp import interpret
+from repro.teil.program import Function
+
+ChainStage = Union[Function, Tuple[Function, Optional[PolyProgram]]]
+
+
+def run_chain_batch(
+    stages: Iterable[ChainStage],
+    elements: Mapping[str, np.ndarray],
+    static_inputs: Optional[Mapping[str, np.ndarray]] = None,
+    backend: Union[str, ExecBackend] = "numpy",
+) -> Dict[str, np.ndarray]:
+    """Execute a kernel chain over a batch; returns every kernel output.
+
+    ``stages`` are functions or ``(function, poly)`` pairs in execution
+    order.  ``elements`` maps streamed tensors to ``(Ne, *shape)``
+    stacks; ``static_inputs`` maps shared tensors to plain arrays.  An
+    input neither supplied nor produced by an earlier kernel is an
+    error naming the kernel and tensor.  Streamed outputs come back as
+    ``(Ne, *shape)`` stacks, static ones as plain arrays.
+    """
+    if isinstance(backend, str):
+        backend = require_backend(backend)
+    streamed: Dict[str, np.ndarray] = {
+        name: np.asarray(arr, dtype=np.float64)
+        for name, arr in elements.items()
+    }
+    static: Dict[str, np.ndarray] = {
+        name: np.asarray(arr, dtype=np.float64)
+        for name, arr in (static_inputs or {}).items()
+    }
+    produced: Dict[str, np.ndarray] = {}
+    for item in stages:
+        fn, prog = item if isinstance(item, tuple) else (item, None)
+        element_inputs = [d.name for d in fn.inputs() if d.name in streamed]
+        statics: Dict[str, np.ndarray] = {}
+        for d in fn.inputs():
+            if d.name in element_inputs:
+                continue
+            if d.name not in static:
+                raise SimulationError(
+                    f"kernel {fn.name!r} input {d.name!r} is neither a "
+                    "streamed element input, a static input, nor an "
+                    "output of an earlier kernel in the chain"
+                )
+            statics[d.name] = static[d.name]
+        if element_inputs:
+            outs = backend.run_batch(
+                fn, streamed, statics, element_inputs, prog=prog
+            )
+            streamed.update(outs)
+        else:
+            # no per-element data touches this kernel: run it once and
+            # share the result, exactly like a static operand
+            outs = interpret(fn, statics)
+            static.update(outs)
+        produced.update(outs)
+    return produced
+
+
+def chain_element_inputs(
+    stages: Iterable[ChainStage], elements: Sequence[str]
+) -> Dict[str, Sequence[str]]:
+    """Which inputs of each chained kernel are streamed (name -> list),
+    given the caller-streamed tensor names — useful for sizing transfer
+    footprints of a whole program without executing it."""
+    streamed = set(elements)
+    out: Dict[str, Sequence[str]] = {}
+    for item in stages:
+        fn = item[0] if isinstance(item, tuple) else item
+        mine = [d.name for d in fn.inputs() if d.name in streamed]
+        out[fn.name] = mine
+        if mine:
+            streamed.update(d.name for d in fn.outputs())
+    return out

@@ -24,6 +24,16 @@ across hosts — over a shared spool/cache filesystem, or over TCP
 
 from repro.flow.options import FlowOptions, SystemOptions
 from repro.flow.pipeline import FlowResult, compile_flow
+from repro.flow.program import (
+    Program,
+    ProgramFlow,
+    ProgramKernel,
+    ProgramResult,
+    compile_any,
+    compile_program,
+    is_program_text,
+)
+from repro.flow.solver import SolverLoop, SolverResult, SolverStep
 from repro.flow.session import (
     Flow,
     FlowTrace,
@@ -81,6 +91,16 @@ __all__ = [
     "SystemOptions",
     "FlowResult",
     "compile_flow",
+    "Program",
+    "ProgramKernel",
+    "ProgramFlow",
+    "ProgramResult",
+    "compile_program",
+    "compile_any",
+    "is_program_text",
+    "SolverLoop",
+    "SolverResult",
+    "SolverStep",
     "write_artifacts",
     "Flow",
     "FlowTrace",

@@ -24,6 +24,9 @@
     cfdlang-flow cancel --broker broker-host:8765 --token SECRET JOB_ID
     cfdlang-flow cache stats --cache-dir .flowcache
     cfdlang-flow cache gc --cache-dir .flowcache --max-bytes 256M --max-age 7d
+    cfdlang-flow program --suite fem-cfd -n 8 --trace
+    cfdlang-flow program program.cfdp --cache-dir .flowcache
+    cfdlang-flow solve --suite smoother -n 8 --steps 4 --exec-backend numpy
 """
 
 from __future__ import annotations
@@ -544,6 +547,182 @@ def build_service_parser(verb: str) -> argparse.ArgumentParser:
     return p
 
 
+def build_program_parser() -> argparse.ArgumentParser:
+    from repro.apps.workloads import WORKLOAD_SUITES
+
+    p = argparse.ArgumentParser(
+        prog="cfdlang-flow program",
+        description="compile a multi-kernel program (ordered CFDlang "
+                    "kernels sharing tensors) through the staged flow as "
+                    "one session; per-kernel cache keys mean kernels "
+                    "shared between programs compile once",
+    )
+    p.add_argument("source", nargs="?",
+                   help="program text file (=== cfdlang program ... === "
+                        "header; see Program.to_text)")
+    p.add_argument("--suite", choices=sorted(WORKLOAD_SUITES),
+                   help="use a built-in workload suite instead of a file")
+    p.add_argument("-n", "--degree", type=int, default=8,
+                   help="tensor extent for --suite programs (default 8)")
+    p.add_argument("--exec-backend", default=None, metavar="NAME",
+                   help="also run the compiled kernel chain functionally "
+                        "over the suite's element batch with this backend "
+                        "and report throughput (--suite only)")
+    p.add_argument("--functional-ne", type=int, default=8, metavar="N",
+                   help="element batch size of that functional run "
+                        "(default 8)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist the stage cache to DIR (content-addressed "
+                        "pickle store shared with every other verb)")
+    p.add_argument("--trace", action="store_true",
+                   help="print per-stage timing and cache behavior")
+    p.add_argument("--expect-front-end-cached", action="store_true",
+                   help="exit non-zero unless every front-end stage was "
+                        "served from the cache (CI guard for per-kernel "
+                        "reuse across runs and programs)")
+    return p
+
+
+def _program_main(argv) -> int:
+    from repro.apps.workloads import make_workload
+    from repro.exec.programs import run_chain_batch
+    from repro.flow.program import Program, compile_program
+
+    args = build_program_parser().parse_args(argv)
+    workload = None
+    try:
+        if args.suite:
+            workload = make_workload(
+                args.suite, n=args.degree, n_elements=args.functional_ne
+            )
+            program = workload.program
+        elif args.source:
+            with open(args.source) as f:
+                program = Program.from_text(f.read())
+        else:
+            print("error: provide a program text file or --suite",
+                  file=sys.stderr)
+            return 2
+    except (OSError, SystemGenerationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = (
+        DiskStageCache(args.cache_dir) if args.cache_dir else StageCache()
+    )
+    trace = FlowTrace()
+    try:
+        result = compile_program(program, cache=cache, trace=trace)
+    except SystemGenerationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if args.exec_backend:
+        if workload is None:
+            print("error: --exec-backend needs --suite: a program file "
+                  "carries no element data to run on", file=sys.stderr)
+            return 2
+        import time as _time
+
+        t0 = _time.perf_counter()
+        outputs = run_chain_batch(
+            result.chain(), workload.elements, workload.static,
+            backend=args.exec_backend,
+        )
+        seconds = _time.perf_counter() - t0
+        ne = args.functional_ne
+        print(f"functional[{args.exec_backend}]: {len(outputs)} outputs "
+              f"({', '.join(sorted(outputs))}) over {ne} elements in "
+              f"{seconds * 1e3:.2f} ms "
+              f"({ne / max(seconds, 1e-12):,.0f} elements/sec)")
+    if args.trace:
+        print(trace.summary())
+    if args.cache_dir:
+        print(_cache_stats_line(cache))
+    if args.expect_front_end_cached:
+        return _check_front_end_cached(trace)
+    return 0
+
+
+def build_solve_parser() -> argparse.ArgumentParser:
+    from repro.apps.workloads import WORKLOAD_SUITES
+
+    p = argparse.ArgumentParser(
+        prog="cfdlang-flow solve",
+        description="run a time-stepping solver loop over a workload "
+                    "suite: every step re-enters the compile flow (fully "
+                    "cache-served after step 1) and runs the numeric "
+                    "inner loop on an execution backend",
+    )
+    p.add_argument("--suite", choices=sorted(WORKLOAD_SUITES),
+                   default="smoother",
+                   help="the workload suite to iterate (default smoother)")
+    p.add_argument("-n", "--degree", type=int, default=8,
+                   help="tensor extent (default 8)")
+    p.add_argument("--steps", type=int, default=4,
+                   help="solver time steps (default 4)")
+    p.add_argument("--ne", type=int, default=8, metavar="N",
+                   help="elements in the batch (default 8)")
+    p.add_argument("--exec-backend", default="numpy", metavar="NAME",
+                   help="execution backend for the numeric inner loop "
+                        "(default numpy)")
+    p.add_argument("--seed", type=int, default=2021,
+                   help="synthetic element data seed (default 2021)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist the stage cache to DIR")
+    p.add_argument("--trace", action="store_true",
+                   help="print per-stage timing and cache behavior")
+    p.add_argument("--expect-front-end-cached", action="store_true",
+                   help="exit non-zero unless every warm step (2+) served "
+                        "all front-end stages from the cache (CI guard "
+                        "for cross-step reuse)")
+    return p
+
+
+def _solve_main(argv) -> int:
+    from repro.apps.workloads import make_workload
+    from repro.flow.solver import SolverLoop
+
+    args = build_solve_parser().parse_args(argv)
+    cache = (
+        DiskStageCache(args.cache_dir) if args.cache_dir else StageCache()
+    )
+    trace = FlowTrace()
+    try:
+        workload = make_workload(
+            args.suite, n=args.degree, n_elements=args.ne, seed=args.seed
+        )
+        loop = SolverLoop(
+            workload.program,
+            carry=workload.carry,
+            backend=args.exec_backend,
+            cache=cache,
+            trace=trace,
+        )
+        result = loop.run(workload.elements, workload.static,
+                          steps=args.steps)
+    except SystemGenerationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if args.trace:
+        print(trace.summary())
+    if args.cache_dir:
+        print(_cache_stats_line(cache))
+    if args.expect_front_end_cached:
+        if args.steps < 2:
+            print("error: --expect-front-end-cached needs --steps >= 2: "
+                  "only warm steps can be cache-served", file=sys.stderr)
+            return 2
+        if result.cross_step_hit_rate() < 1.0:
+            warm = result.warm_steps()
+            ran = sum(s.front_end_executed for s in warm)
+            print(f"error: --expect-front-end-cached: {ran} front-end "
+                  "stage executions in warm solver steps (expected 0)",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
 def _load_source(app, source_path, degree: int):
     """One flow input from --app or a source file (shared by the main
     command and the submit verb)."""
@@ -646,6 +825,13 @@ def _fetch_main(args, job) -> int:
         if isinstance(res, Exception):
             rows.append((index, "-", "-", "-", f"error: {res}"))
             errors += 1
+        elif not hasattr(res, "system"):
+            # a multi-kernel ProgramResult (program text submitted
+            # through the API): no single system/sim to columnize
+            rows.append((
+                index, "-", "-", "-",
+                f"program: {len(res)} kernel(s) compiled",
+            ))
         else:
             system = res.system
             rows.append((
@@ -881,6 +1067,10 @@ def main(argv=None) -> int:
         return _worker_main(argv[1:])
     if argv and argv[0] == "broker":
         return _broker_main(argv[1:])
+    if argv and argv[0] == "program":
+        return _program_main(argv[1:])
+    if argv and argv[0] == "solve":
+        return _solve_main(argv[1:])
     if argv and argv[0] in ("submit", "status", "fetch", "cancel"):
         return _service_main(argv[0], argv[1:])
     args = build_parser().parse_args(argv)

@@ -53,7 +53,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SystemGenerationError
 from repro.flow.options import FlowOptions
-from repro.flow.session import Flow, FlowTrace
+from repro.flow.program import compile_any
+from repro.flow.session import FlowTrace
 from repro.flow.stages import source_fingerprint
 from repro.flow.store import (
     CacheBackend,
@@ -80,8 +81,9 @@ Job = Tuple[object, Optional[FlowOptions]]
 class ExecutorContext:
     """Everything a backend needs to run one batch.
 
-    ``outcomes`` slots are :class:`~repro.flow.pipeline.FlowResult` or
-    the exception the point raised.  ``fail_fast`` is the shared
+    ``outcomes`` slots are :class:`~repro.flow.pipeline.FlowResult`
+    (:class:`~repro.flow.program.ProgramResult` for multi-kernel program
+    points) or the exception the point raised.  ``fail_fast`` is the shared
     early-exit contract: once any point has failed, a backend stops
     *starting* points — already-running ones finish (and their outcomes
     are recorded), never-started ones keep their ``None`` slot.  With
@@ -142,9 +144,9 @@ class SerialExecutor:
         outcomes: List[object] = [None] * len(context.jobs)
         for i, (source, options) in enumerate(context.jobs):
             try:
-                outcomes[i] = Flow(
+                outcomes[i] = compile_any(
                     source, options, cache=context.cache, trace=context.trace
-                ).run()
+                )
             except Exception as exc:  # noqa: BLE001 — captured per job
                 outcomes[i] = exc
                 if context.fail_fast:
@@ -179,13 +181,13 @@ class ThreadExecutor:
                 return  # slot stays None: never started after a failure
             source, options = context.jobs[i]
             try:
-                outcomes[i] = Flow(
+                outcomes[i] = compile_any(
                     source,
                     options,
                     cache=context.cache,
                     trace=context.trace,
                     flight=flight,
-                ).run()
+                )
             except Exception as exc:  # noqa: BLE001 — captured per job
                 outcomes[i] = exc
                 failed.set()
@@ -228,8 +230,9 @@ def run_job_spec(spec, cache: DiskStageCache, flight, worker_tag: str):
 
     The common worker body of the process-pool and distributed backends:
     returns ``(outcome, trace events, cache counter deltas)`` — outcome
-    is the FlowResult or the exception the point raised, both shipped
-    back by value.  Trace events carry ``worker_tag`` after an ``@`` in
+    is the FlowResult (or ProgramResult: program text dispatches through
+    :func:`~repro.flow.program.compile_any` like any other source) or
+    the exception the point raised, both shipped back by value.  Trace events carry ``worker_tag`` after an ``@`` in
     their origin so a merged sweep trace records which worker served
     each stage (:func:`repro.flow.session.origin_kind` strips the tag
     for aggregation).
@@ -241,13 +244,13 @@ def run_job_spec(spec, cache: DiskStageCache, flight, worker_tag: str):
     before = cache.counters()
     trace = FlowTrace()
     try:
-        outcome = Flow(
+        outcome = compile_any(
             source_text,
             options,
             cache=cache,
             trace=trace,
             flight=flight,
-        ).run()
+        )
     except Exception as exc:  # noqa: BLE001 — captured per job
         outcome = exc
     after = cache.counters()

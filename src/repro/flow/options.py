@@ -89,6 +89,20 @@ class FlowOptions:
         """The board the system stages target (SystemOptions wins)."""
         return self.system.board if self.system.board is not None else self.board
 
+    def for_kernel(self, kernel_name: str) -> "FlowOptions":
+        """These options specialized to one kernel of a multi-kernel
+        program.
+
+        Only :attr:`kernel_name` varies between the kernels of a program
+        compiled under shared base options; every other field — and
+        therefore every stage's option slice, and every stage cache key
+        not derived from the kernel's own content — is identical across
+        them.
+        """
+        if kernel_name == self.kernel_name:
+            return self
+        return dataclasses.replace(self, kernel_name=kernel_name)
+
     # -- cross-process job specs ---------------------------------------------
     def to_spec(self) -> Dict[str, object]:
         """Primitives-only dict form of these options.

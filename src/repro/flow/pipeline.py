@@ -135,11 +135,21 @@ class FlowResult:
 def compile_flow(
     source: Union[str, Program], options: Optional[FlowOptions] = None
 ) -> FlowResult:
-    """Run the complete compiler flow on CFDlang source (or a built AST).
+    """Run the complete compiler flow on one CFDlang kernel.
 
-    Back-compat wrapper over the staged API: equivalent to
-    ``Flow(source, options).run()`` with a private, per-call stage cache.
+    Deprecated in favor of :func:`repro.flow.program.compile_program`,
+    the primary compile entry point since multi-kernel programs landed;
+    this remains as a thin shim that wraps the source in a single-kernel
+    :class:`~repro.flow.program.Program` (named after
+    ``options.kernel_name``) and unwraps its one
+    :class:`FlowResult`.  Cache keys are per-kernel and content-
+    addressed, so the shim hits exactly the same cache entries as the
+    program API — existing callers keep identical results and reuse.
     """
-    from repro.flow.session import Flow
+    from repro.flow.program import Program as KernelProgram, compile_program
 
-    return Flow(source, options).run()
+    opts = options or FlowOptions()
+    program = KernelProgram(opts.kernel_name).add_kernel(
+        opts.kernel_name, source
+    )
+    return compile_program(program, opts)[opts.kernel_name]

@@ -1,0 +1,364 @@
+"""Multi-kernel programs: ordered kernels compiled as one flow session.
+
+Real solver codes are not one kernel.  A spectral-element time step is a
+small suite — interpolate to quadrature points, apply the (inverse)
+Helmholtz operator, take gradients, update the iterate — where the
+kernels share tensor declarations and feed each other's inputs.
+:class:`Program` captures that shape: an ordered list of named CFDlang
+kernels with consistency checking across their shared tensors.
+
+:func:`compile_program` compiles every kernel of a program through the
+staged flow as one session: one shared cache, one trace, one
+single-flight coordinator.  Because stage cache keys are per-kernel
+(content hash of the kernel's canonicalized source, and of its TeIL
+subtree from lowering on — see :mod:`repro.flow.stages`), two programs
+that share a kernel share all of its front-end work, and recompiling the
+same program (e.g. every step of a :class:`~repro.flow.solver.
+SolverLoop`) re-runs nothing at all.
+
+:func:`compile_any` is the union entry point: it dispatches DSL text or
+a CFDlang AST to a single-kernel :class:`~repro.flow.session.Flow`, and
+a :class:`Program` (or its text serialization) to
+:func:`compile_program`.  The executor ladder funnels everything through
+it, so program jobs ride the thread/process/distributed/service
+backends unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.cfdlang.ast import Program as CfdlangAst
+from repro.cfdlang.parser import parse_program
+from repro.cfdlang.printer import print_program
+from repro.cfdlang.sema import analyze
+from repro.errors import SystemGenerationError
+from repro.flow.options import FlowOptions
+from repro.flow.session import Flow, FlowTrace
+from repro.flow.store import CacheBackend, SingleFlight, StageCache
+
+PROGRAM_HEADER = "=== cfdlang program"
+KERNEL_HEADER = "=== kernel"
+
+
+def is_program_text(source) -> bool:
+    """Whether a source string is the text serialization of a
+    :class:`Program` (as opposed to plain single-kernel CFDlang)."""
+    return isinstance(source, str) and source.lstrip().startswith(PROGRAM_HEADER)
+
+
+@dataclass(frozen=True)
+class ProgramKernel:
+    """One named kernel of a :class:`Program`.
+
+    ``source`` is what the flow compiles (the object handed to
+    :meth:`Program.add_kernel` — DSL text or a CFDlang AST); ``text`` is
+    its canonical rendering, used for serialization and shape checking.
+    The kernel's name becomes :attr:`~repro.flow.options.FlowOptions.
+    kernel_name` for its compilation, i.e. the generated C function name.
+    """
+
+    name: str
+    source: object
+    text: str = field(compare=False)
+
+    def shapes(self) -> Dict[str, Tuple[int, ...]]:
+        """Declared tensor shapes of this kernel (name -> dims)."""
+        ast = analyze(parse_program(self.text))
+        return {d.name: tuple(d.shape) for d in ast.decls}
+
+
+class Program:
+    """An ordered, named collection of CFDlang kernels.
+
+    Kernels are added in execution order; :meth:`validate` (run by
+    :func:`compile_program`) checks that tensors sharing a name across
+    kernels agree on their shape, so a chain like *helmholtz produces
+    ``v``, gradient consumes ``v``* is well-formed by construction.
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        if not name or any(c.isspace() for c in name):
+            raise SystemGenerationError(
+                f"program name must be non-empty and whitespace-free, "
+                f"got {name!r}"
+            )
+        self.name = name
+        self.kernels: List[ProgramKernel] = []
+
+    def __repr__(self) -> str:
+        names = ", ".join(k.name for k in self.kernels)
+        return f"Program({self.name!r}, kernels=[{names}])"
+
+    def __iter__(self) -> Iterator[ProgramKernel]:
+        return iter(self.kernels)
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def kernel_names(self) -> List[str]:
+        return [k.name for k in self.kernels]
+
+    def add_kernel(self, name: str, source) -> "Program":
+        """Append a kernel (DSL text or CFDlang AST); returns self.
+
+        The source is parsed immediately, so syntax and semantic errors
+        surface at construction with the kernel's name attached, not
+        deep inside a later compile.
+        """
+        if not name.isidentifier():
+            raise SystemGenerationError(
+                f"kernel name {name!r} is not a valid identifier (it "
+                "becomes the generated C function's name)"
+            )
+        if name in self.kernel_names():
+            raise SystemGenerationError(
+                f"program {self.name!r} already has a kernel named {name!r}"
+            )
+        if isinstance(source, CfdlangAst):
+            text = print_program(source)
+        elif isinstance(source, str):
+            if is_program_text(source):
+                raise SystemGenerationError(
+                    f"kernel {name!r}: source is a serialized Program, "
+                    "not a single CFDlang kernel; use Program.from_text"
+                )
+            # canonicalize (and fail fast on bad input)
+            text = print_program(parse_program(source))
+        else:
+            raise SystemGenerationError(
+                f"kernel {name!r}: source must be CFDlang text or a "
+                f"Program AST, got {type(source).__name__}"
+            )
+        self.kernels.append(ProgramKernel(name=name, source=source, text=text))
+        return self
+
+    # -- validation ----------------------------------------------------------
+    def validate(self) -> "Program":
+        """Check the program compiles as a unit; returns self.
+
+        Requires at least one kernel and shape agreement for every
+        tensor name shared between kernels (kinds may differ — an output
+        of one kernel is legitimately an input of the next).
+        """
+        if not self.kernels:
+            raise SystemGenerationError(
+                f"program {self.name!r} has no kernels"
+            )
+        seen: Dict[str, Tuple[Tuple[int, ...], str]] = {}
+        for kernel in self.kernels:
+            for tensor, shape in kernel.shapes().items():
+                if tensor in seen and seen[tensor][0] != shape:
+                    prev_shape, prev_kernel = seen[tensor]
+                    raise SystemGenerationError(
+                        f"program {self.name!r}: tensor {tensor!r} is "
+                        f"{list(prev_shape)} in kernel {prev_kernel!r} but "
+                        f"{list(shape)} in kernel {kernel.name!r}"
+                    )
+                seen.setdefault(tensor, (shape, kernel.name))
+        return self
+
+    def shared_tensors(self) -> Dict[str, Tuple[int, ...]]:
+        """Tensors declared by more than one kernel (name -> shape)."""
+        counts: Dict[str, int] = {}
+        shapes: Dict[str, Tuple[int, ...]] = {}
+        for kernel in self.kernels:
+            for tensor, shape in kernel.shapes().items():
+                counts[tensor] = counts.get(tensor, 0) + 1
+                shapes[tensor] = shape
+        return {t: shapes[t] for t, n in counts.items() if n > 1}
+
+    # -- serialization -------------------------------------------------------
+    def to_text(self) -> str:
+        """Serialize to the program text format.
+
+        A header line names the program, then one ``=== kernel NAME ===``
+        section per kernel holding its canonical DSL text.  ``===`` never
+        begins a DSL line (``#`` is the outer-product operator, ``=``
+        only appears after an identifier), so the format is unambiguous
+        and round-trips through :meth:`from_text`.  This is what ships a
+        program through the executor ladder's string job specs.
+        """
+        lines = [f"{PROGRAM_HEADER} {self.name} ==="]
+        for kernel in self.kernels:
+            lines.append(f"{KERNEL_HEADER} {kernel.name} ===")
+            lines.append(kernel.text.rstrip("\n"))
+        return "\n".join(lines) + "\n"
+
+    __str__ = to_text
+
+    @classmethod
+    def from_text(cls, text: str) -> "Program":
+        """Parse the :meth:`to_text` serialization back into a Program."""
+        lines = text.strip().splitlines()
+        if not lines or not lines[0].startswith(PROGRAM_HEADER):
+            raise SystemGenerationError(
+                f"program text must start with {PROGRAM_HEADER!r}"
+            )
+        header = lines[0].strip()
+        name = header[len(PROGRAM_HEADER):].strip().rstrip("=").strip()
+        if not name:
+            raise SystemGenerationError("program header has no name")
+        program = cls(name)
+        current: Optional[str] = None
+        body: List[str] = []
+
+        def flush() -> None:
+            if current is not None:
+                program.add_kernel(current, "\n".join(body) + "\n")
+
+        for line in lines[1:]:
+            if line.strip().startswith(KERNEL_HEADER):
+                flush()
+                current = (
+                    line.strip()[len(KERNEL_HEADER):].strip().rstrip("=").strip()
+                )
+                body = []
+                if not current:
+                    raise SystemGenerationError("kernel header has no name")
+            elif current is None:
+                if line.strip():
+                    raise SystemGenerationError(
+                        f"program text: content before first kernel "
+                        f"header: {line.strip()!r}"
+                    )
+            else:
+                body.append(line)
+        flush()
+        return program.validate()
+
+
+@dataclass
+class ProgramResult:
+    """Per-kernel :class:`~repro.flow.pipeline.FlowResult`\\ s of one
+    compiled program, in kernel order."""
+
+    program: Program
+    results: Dict[str, "FlowResult"]
+
+    def __getitem__(self, kernel_name: str) -> "FlowResult":
+        try:
+            return self.results[kernel_name]
+        except KeyError:
+            raise SystemGenerationError(
+                f"program {self.program.name!r} has no kernel "
+                f"{kernel_name!r} (kernels: "
+                f"{', '.join(self.results) or 'none'})"
+            ) from None
+
+    def __iter__(self):
+        return iter(self.results.values())
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def kernel_names(self) -> List[str]:
+        return list(self.results)
+
+    def chain(self) -> List[Tuple[object, object]]:
+        """(function, poly) pairs in kernel order — the form
+        :func:`repro.exec.programs.run_chain_batch` executes."""
+        return [(r.function, r.poly) for r in self.results.values()]
+
+    def summary(self) -> str:
+        from repro.utils import ascii_table
+
+        rows = []
+        for name, res in self.results.items():
+            sim = res.sim
+            rows.append(
+                (
+                    name,
+                    len(res.function.statements),
+                    f"{sim.k}x{sim.m}",
+                    f"{sim.n_elements / sim.total_seconds:,.0f}",
+                )
+            )
+        return ascii_table(
+            ["kernel", "stmts", "k x m", "elems/s (model)"],
+            rows,
+            title=f"Program {self.program.name!r}",
+        )
+
+
+class ProgramFlow:
+    """One compilation session over every kernel of a :class:`Program`.
+
+    All kernels share the session's cache, trace, and single-flight
+    coordinator; each compiles under ``options.for_kernel(name)``, so
+    only the generated function name differs between them.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        options: Optional[FlowOptions] = None,
+        *,
+        cache: Optional[CacheBackend] = None,
+        trace: Optional[FlowTrace] = None,
+        flight: Optional[SingleFlight] = None,
+    ) -> None:
+        self.program = program.validate()
+        self.options = options or FlowOptions()
+        self.cache = cache if cache is not None else StageCache()
+        self.trace = trace
+        self.flight = flight
+
+    def run(self) -> ProgramResult:
+        results: Dict[str, "FlowResult"] = {}
+        for kernel in self.program.kernels:
+            flow = Flow(
+                kernel.source,
+                self.options.for_kernel(kernel.name),
+                cache=self.cache,
+                trace=self.trace,
+                flight=self.flight,
+            )
+            results[kernel.name] = flow.run()
+        return ProgramResult(program=self.program, results=results)
+
+
+def compile_program(
+    program: Union[Program, str],
+    options: Optional[FlowOptions] = None,
+    *,
+    cache: Optional[CacheBackend] = None,
+    trace: Optional[FlowTrace] = None,
+    flight: Optional[SingleFlight] = None,
+) -> ProgramResult:
+    """Compile every kernel of a program through the staged flow.
+
+    This is the primary compile entry point; ``compile_flow`` is a
+    single-kernel shim over it.  Accepts a :class:`Program` or its
+    :meth:`~Program.to_text` serialization.
+    """
+    if isinstance(program, str):
+        program = Program.from_text(program)
+    return ProgramFlow(
+        program, options, cache=cache, trace=trace, flight=flight
+    ).run()
+
+
+def compile_any(
+    source,
+    options: Optional[FlowOptions] = None,
+    *,
+    cache: Optional[CacheBackend] = None,
+    trace: Optional[FlowTrace] = None,
+    flight: Optional[SingleFlight] = None,
+) -> Union["FlowResult", ProgramResult]:
+    """Compile any flow input: single-kernel sources run one
+    :class:`~repro.flow.session.Flow`; programs (objects or program
+    text) run :func:`compile_program`.  This is the dispatch point the
+    executor ladder uses, so program jobs flow through every backend —
+    thread, process, distributed, service — without those backends
+    knowing the difference.
+    """
+    if isinstance(source, Program) or is_program_text(source):
+        return compile_program(
+            source, options, cache=cache, trace=trace, flight=flight
+        )
+    return Flow(
+        source, options, cache=cache, trace=trace, flight=flight
+    ).run()

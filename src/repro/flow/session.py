@@ -23,7 +23,6 @@ processes.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 import time
 from dataclasses import dataclass
@@ -32,16 +31,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.errors import SystemGenerationError
 from repro.flow.options import FlowOptions
 from repro.flow.stages import (
+    CONTENT_KEYED_OUTPUTS,
     FINAL_STAGE,
     STAGE_API_VERSION,
     Stage,
     get_stage,
+    kernel_fingerprint,
     producer_of,
     registered_stages,
-    source_fingerprint,
     stage_names,
 )
-from repro.flow.store import CacheBackend, SingleFlight, StageCache
+from repro.flow.store import CacheBackend, SingleFlight, StageCache, content_key
 
 
 @dataclass(frozen=True)
@@ -187,13 +187,9 @@ class FlowTrace:
 
 _override_counter = 0
 
-
-def _digest(*parts: str) -> str:
-    h = hashlib.sha256()
-    for p in parts:
-        h.update(p.encode())
-        h.update(b"\x00")
-    return h.hexdigest()
+#: the flow's key digest is the store's (content-addressed backends and
+#: sessions must agree on the scheme)
+_digest = content_key
 
 
 class Flow:
@@ -223,9 +219,12 @@ class Flow:
         #: by a parallel ``compile_many``); None = no coordination needed
         self.flight = flight
         self.state: Dict[str, object] = {"source": source}
+        # kernel_fingerprint canonicalizes the source (parse + reprint),
+        # so textual variants of one kernel — and a built AST next to its
+        # text form — share every stage key from 'parse' on
         self._keys: Dict[str, str] = {
             "source": _digest("source", str(STAGE_API_VERSION),
-                              source_fingerprint(source))
+                              kernel_fingerprint(source))
         }
         self._completed: List[str] = []
         #: state keys holding user-overridden (or override-derived) values;
@@ -270,7 +269,7 @@ class Flow:
                 # so the whole pipeline recomputes (or re-hits the cache)
                 self.source = value
                 self._keys[key] = _digest("source", str(STAGE_API_VERSION),
-                                          source_fingerprint(value))
+                                          kernel_fingerprint(value))
                 stale_from = 0
             else:
                 _override_counter += 1
@@ -371,7 +370,18 @@ class Flow:
         seconds = time.perf_counter() - t0
         self.state.update(outputs)
         for out in stage.outputs:
-            self._keys[out] = _digest(key, out)
+            fingerprint = CONTENT_KEYED_OUTPUTS.get(out)
+            if fingerprint is not None and not tainted:
+                # per-kernel granularity: key downstream work off the
+                # artifact's own content (the TeIL subtree), not the
+                # chain that produced it, so kernels lowering identically
+                # share every later stage regardless of source history
+                self._keys[out] = _digest(
+                    "content", out, str(STAGE_API_VERSION),
+                    fingerprint(self.state[out]),
+                )
+            else:
+                self._keys[out] = _digest(key, out)
             if tainted:
                 self._tainted.add(out)
         self._completed.append(stage.name)
@@ -458,8 +468,11 @@ def compile_many(
 ) -> List["FlowResult"]:
     """Compile a batch of design points against one shared stage cache.
 
-    Each point is a CFDlang source (text or AST) or a ``(source,
-    options)`` pair.  Results come back in point order.  All points share
+    Each point is a CFDlang source (text or AST), a multi-kernel
+    :class:`~repro.flow.program.Program` (or its text serialization), or
+    a ``(source, options)`` pair.  Results come back in point order —
+    :class:`~repro.flow.pipeline.FlowResult` per single-kernel point,
+    :class:`~repro.flow.program.ProgramResult` per program point.  All points share
     ``cache`` (a fresh in-memory one by default; pass a
     :class:`DiskStageCache` to reuse work across processes), so grids
     that vary only late parameters run the front end once per distinct

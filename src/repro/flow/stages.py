@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Mapping, Tuple
 from repro.cfdlang import analyze, parse_program
 from repro.cfdlang.ast import Program
 from repro.codegen import generate_kernel
-from repro.errors import SystemGenerationError
+from repro.errors import ReproError, SystemGenerationError
 from repro.flow.options import FlowOptions
 from repro.layout import Layout, default_layouts
 from repro.memory import CompatibilityGraph, build_compatibility_graph
@@ -33,7 +33,9 @@ from repro.teil import canonicalize, lower_program
 from repro.teil.program import Function
 
 #: bump when a stage's semantics change, to invalidate stale cache entries
-STAGE_API_VERSION = 2
+#: (3: per-kernel cache granularity — canonicalized source keys and
+#: content-keyed TeIL rekeying changed every downstream key)
+STAGE_API_VERSION = 3
 
 StageFn = Callable[[Mapping[str, object], FlowOptions], Dict[str, object]]
 ParamFn = Callable[[FlowOptions], Tuple]
@@ -515,13 +517,57 @@ SYSTEM_STAGES = ("build-system", "simulate")
 
 
 def source_fingerprint(source) -> str:
-    """Stable text identity of a flow input (DSL text or built AST)."""
+    """Stable text identity of a flow input.
+
+    Accepts single-kernel inputs (DSL text or a built
+    :class:`~repro.cfdlang.ast.Program` AST) and multi-kernel
+    :class:`~repro.flow.program.Program` values, which serialize to
+    their sectioned text form — the representation job specs ship to
+    process pools, spool workers, and the standing broker.
+    """
     if isinstance(source, str):
         return source
     if isinstance(source, Program):
         from repro.cfdlang.printer import print_program
 
         return print_program(source)
+    # lazy: repro.flow.program imports this module
+    from repro.flow.program import Program as KernelProgram
+
+    if isinstance(source, KernelProgram):
+        return source.to_text()
     raise SystemGenerationError(
-        f"flow input must be CFDlang text or a Program, got {type(source).__name__}"
+        f"flow input must be CFDlang text, a Program AST, or a "
+        f"flow Program, got {type(source).__name__}"
     )
+
+
+def kernel_fingerprint(source) -> str:
+    """Canonical content identity of one kernel's flow input.
+
+    Unlike :func:`source_fingerprint` (which preserves raw text for
+    faithful spec shipping), this parses DSL text and reprints it
+    through the canonical printer, so whitespace- or comment-different
+    sources of the same kernel — and a built AST next to its text form —
+    produce identical stage-cache keys.  Text that does not parse keeps
+    its raw identity; the ``parse`` stage will raise the real error.
+    """
+    if isinstance(source, str):
+        try:
+            from repro.cfdlang.printer import print_program
+
+            return print_program(parse_program(source))
+        except ReproError:
+            return source
+    return source_fingerprint(source)
+
+
+#: state keys whose cache identity is the *content* of the artifact, not
+#: the chain of keys that produced it.  The TeIL function is the flow's
+#: per-kernel narrow waist: every later stage is a pure function of it
+#: plus its own declared option slice, so keying downstream work off its
+#: fingerprint lets kernels that lower identically — across programs,
+#: solver steps, or textual variants — share everything after ``lower``.
+CONTENT_KEYED_OUTPUTS: Dict[str, Callable[[object], str]] = {
+    "function": lambda fn: fn.fingerprint(),
+}

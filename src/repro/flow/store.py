@@ -48,6 +48,23 @@ except ImportError:  # pragma: no cover
 #: outputs of one stage, as stored/returned by a backend
 Entry = Dict[str, object]
 
+
+def content_key(*parts: str) -> str:
+    """The cache key scheme: a sha256 over NUL-separated string parts.
+
+    Every key in a stage cache is built this way — stage keys chain
+    their input keys and the stage's option slice; kernel-level keys
+    hash the kernel's canonical source or TeIL fingerprint.  Keeping the
+    digest here, next to the stores, pins the one invariant all
+    backends rely on: identical parts produce identical keys on every
+    host, process, and Python version.
+    """
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(p.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
 #: how long an untouched lock / lease / heartbeat file may sit before it
 #: counts as abandoned by a dead process — shared by
 #: :class:`FileSingleFlight`, the cache lifecycle commands, and the

@@ -11,12 +11,20 @@ The per-operation CPIs live in :class:`~repro.system.platform_data.
 PlatformModel` and are calibrated to the paper's measured relations
 (HW k=1 = 0.69x SW Ref); the *structure* (MAC/load/store/loop counts) is
 derived from the IR, so other kernels scale accordingly.
+
+:func:`measured_sw_seconds_per_element` complements the analytic model
+with an actual measurement: the generated C kernel compiled and timed on
+the host through the ``cnative`` execution backend (skipping cleanly
+when no C compiler is available).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.system.platform_data import DEFAULT_PLATFORM, PlatformModel
@@ -86,3 +94,54 @@ def simulate_software(
     else:
         raise SimulationError(f"unknown software variant {variant!r}")
     return n_elements * per / cpu.hz
+
+
+def measured_sw_seconds_per_element(
+    fn: Function,
+    prog=None,
+    *,
+    n_elements: int = 64,
+    backend: str = "cnative",
+) -> Optional[float]:
+    """Measured seconds/element of the compiled software kernel, or None.
+
+    Validates the analytic cost model above with a real number: the same
+    generated C the SW-HLS-code baseline models is compiled by the host
+    toolchain and timed over an ``n_elements`` batch via the ``cnative``
+    execution backend (:mod:`repro.exec`).  The host is of course not
+    the A53 the paper measured, so the *absolute* value only anchors the
+    model's structural counts — ratios between kernels are what transfer.
+
+    Returns None (a clean skip, no exception) when the backend is
+    unavailable — e.g. no C compiler in the environment — so model-only
+    callers like the Fig. 10 benchmark degrade gracefully.
+    """
+    from repro.exec import get_backend
+
+    b = get_backend(backend)
+    if not b.available():
+        return None
+    rng = np.random.default_rng(7)
+    elements = {}
+    static = {}
+    for d in fn.inputs():
+        # stream the largest-rank state tensor(s), share the operators:
+        # mirrors the system model's static/streamed interface split
+        if len(d.shape) == max(len(i.shape) for i in fn.inputs()):
+            elements[d.name] = rng.standard_normal((n_elements,) + d.shape)
+        else:
+            static[d.name] = rng.standard_normal(d.shape)
+    if not elements:  # all-static kernel: stream everything instead
+        elements = {
+            d.name: rng.standard_normal((n_elements,) + d.shape)
+            for d in fn.inputs()
+        }
+        static = {}
+    warmup = {name: arr[:1] for name, arr in elements.items()}
+    b.run_batch(fn, warmup, static, list(warmup), prog=prog)
+    # the warmup run pays the one-time C compile; the timed run measures
+    # only kernel execution, which is what the cost model predicts
+    t0 = time.perf_counter()
+    b.run_batch(fn, elements, static, list(elements), prog=prog)
+    seconds = time.perf_counter() - t0
+    return seconds / n_elements

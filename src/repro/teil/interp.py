@@ -3,12 +3,24 @@
 This is the functional golden model: every later stage (generated C code,
 generated Python, the HLS C-simulation) is checked against it, and it in
 turn is checked against hand-written einsum formulations of the operators.
+
+Hot-path note: callers like the solver loop's per-element checks and the
+static-kernel fallback of :func:`repro.exec.programs.run_chain_batch`
+interpret the *same* function thousands of times on small tensors, where
+rebuilding einsum subscript strings and re-planning contraction orders
+dominates the arithmetic.  Both are pure functions of the (frozen,
+hashable) :class:`~repro.teil.ops.Contraction` and the operand shapes,
+so they are memoized: subscripts via an unbounded cache, contraction
+paths (``np.einsum_path``) per (op, shapes).  Planned paths reassociate
+sums relative to naive left-to-right einsum, which is why agreement with
+downstream backends is specified as ``allclose``, never bit-exact.
 """
 
 from __future__ import annotations
 
 import string
-from typing import Dict, Mapping
+from functools import lru_cache
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
@@ -17,6 +29,7 @@ from repro.teil.ops import Contraction, Ewise, EwiseKind
 from repro.teil.program import Function
 
 
+@lru_cache(maxsize=None)
 def _einsum_spec(op: Contraction) -> str:
     letters: Dict[str, str] = {}
     pool = iter(string.ascii_lowercase + string.ascii_uppercase)
@@ -49,8 +62,23 @@ def einsum_spec(op: Contraction, batched: bool = False) -> str:
     return ",".join("..." + part for part in ins.split(",")) + "->..." + outs
 
 
+@lru_cache(maxsize=4096)
+def _contraction_path(
+    op: Contraction, shapes: Tuple[Tuple[int, ...], ...]
+) -> list:
+    """The planned (reusable) contraction order for these operand shapes."""
+    dummies = [np.broadcast_to(np.float64(0.0), s) for s in shapes]
+    path, _ = np.einsum_path(_einsum_spec(op), *dummies, optimize="optimal")
+    return path
+
+
 def eval_contraction(op: Contraction, env: Mapping[str, np.ndarray]) -> np.ndarray:
-    return np.einsum(_einsum_spec(op), *[env[o] for o in op.operands])
+    operands = [env[o] for o in op.operands]
+    if len(operands) <= 2:
+        # nothing to plan for 1-2 operands; skip the path-cache lookup
+        return np.einsum(_einsum_spec(op), *operands)
+    path = _contraction_path(op, tuple(a.shape for a in operands))
+    return np.einsum(_einsum_spec(op), *operands, optimize=path)
 
 
 def eval_ewise(op: Ewise, env: Mapping[str, np.ndarray]) -> np.ndarray:

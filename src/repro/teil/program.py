@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -130,6 +131,19 @@ class Function:
         for s in self.statements:
             lines.append(f"  {s}")
         return "\n".join(lines)
+
+    def fingerprint(self) -> str:
+        """Content hash of the function (name, decls, statements).
+
+        The canonical text rendering is a faithful serialization of the
+        IR, so hashing it gives a stable identity: two kernels that lower
+        to the same TeIL function — regardless of the DSL text they came
+        from — share a fingerprint.  The flow's stage cache keys every
+        post-lowering stage off this value (plus that stage's own option
+        slice), which is what lets multi-kernel programs and repeated
+        solver steps share front-end work at per-kernel granularity.
+        """
+        return hashlib.sha256(str(self).encode()).hexdigest()
 
 
 def copy_function(fn: Function) -> Function:
