@@ -1,0 +1,149 @@
+"""Chain fusion: fused vs unfused throughput and modeled transfer traffic.
+
+Fusing a multi-kernel chain into one composite kernel buys two things,
+measured here on the workload suites:
+
+* **Throughput** — a fused group is a single ``backend.run_batch`` call:
+  on ``cnative`` one emitted C function replaces one call (and one
+  host-array round trip of every intermediate) per member kernel.  The
+  gate asserts the fused fem-cfd chain beats the unfused one in
+  elements/sec, median-of-several.
+* **Modeled transfer bytes** — demoted intermediates leave the fused
+  interface, so the system model stops streaming them.  The gate asserts
+  the fused helmholtz-gradient chain eliminates at least the
+  intermediate tensor's share of per-element traffic.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import QUICK, emit
+from repro.apps.workloads import make_workload
+from repro.exec import get_backend
+from repro.exec.programs import run_chain_batch
+from repro.flow import FlowOptions, StageCache, compile_program
+from repro.utils import ascii_table
+
+DEGREE = 4
+NE = 192 if QUICK else 512
+REPS = 5 if QUICK else 9
+
+_COMPILED = {}
+
+
+def _compiled(suite):
+    """(workload, unfused ProgramResult, fused ProgramResult), cached
+    per suite so repeated tests share one compile session."""
+    if suite not in _COMPILED:
+        wl = make_workload(suite, n=DEGREE, n_elements=NE)
+        cache = StageCache()
+        plain = compile_program(wl.program, cache=cache)
+        fused = compile_program(
+            wl.program,
+            FlowOptions(fusion="auto", fusion_keep=tuple(wl.carry)),
+            cache=cache,
+        )
+        _COMPILED[suite] = (wl, plain, fused)
+    return _COMPILED[suite]
+
+
+def _median_seconds(res, wl, backend, reps=REPS):
+    run_chain_batch(res.chain(), wl.elements, wl.static, backend=backend)
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        run_chain_batch(res.chain(), wl.elements, wl.static, backend=backend)
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[len(times) // 2]
+
+
+def test_fusion_throughput_fem_cfd(benchmark):
+    """Timed entry for the regression gate: the fused fem-cfd chain on
+    the best available backend."""
+    backend = "cnative" if get_backend("cnative").available() else "numpy"
+    wl, _, fused = _compiled("fem-cfd")
+    out = benchmark(
+        run_chain_batch, fused.chain(), wl.elements, wl.static,
+        backend=backend,
+    )
+    assert out["gx"].shape[0] == NE
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["n_elements"] = NE
+
+
+def test_fused_beats_unfused_fem_cfd(out_dir):
+    """One emitted C function per fused group must out-run the
+    per-kernel chain (3 calls, 2 intermediate round trips)."""
+    import pytest
+
+    if not get_backend("cnative").available():
+        pytest.skip("cnative backend unavailable (no C compiler)")
+    wl, plain, fused = _compiled("fem-cfd")
+    sec_plain = _median_seconds(plain, wl, "cnative")
+    sec_fused = _median_seconds(fused, wl, "cnative")
+    eps_plain = NE / sec_plain
+    eps_fused = NE / sec_fused
+    rows = [
+        ("unfused (3 kernels, 3 C calls)", f"{eps_plain:,.0f}"),
+        ("fused (1 composite kernel, 1 C call)", f"{eps_fused:,.0f}"),
+        ("speedup", f"{eps_fused / eps_plain:.2f}x"),
+    ]
+    text = ascii_table(
+        ["fem-cfd chain (cnative)", "elements/s"],
+        rows,
+        title=f"Fused vs unfused throughput (n={DEGREE}, Ne={NE}, "
+              f"median of {REPS})",
+    )
+    emit(out_dir, "fusion_throughput.txt", text)
+    # numeric conformance rides along: same batch, both paths
+    out_p = run_chain_batch(plain.chain(), wl.elements, wl.static,
+                            backend="cnative")
+    out_f = run_chain_batch(fused.chain(), wl.elements, wl.static,
+                            backend="cnative")
+    for k in set(out_p) & set(out_f):
+        np.testing.assert_allclose(out_f[k], out_p[k], atol=1e-12, rtol=0)
+    assert eps_fused > eps_plain, (
+        f"fused fem-cfd chain is slower: {eps_fused:,.0f} vs "
+        f"{eps_plain:,.0f} elements/s"
+    )
+
+
+def test_fusion_transfer_reduction(out_dir):
+    """Demoted intermediates must drop out of the modeled per-element
+    host<->accelerator traffic."""
+    rows = []
+    savings = {}
+    for suite in ["smoother", "helmholtz-gradient", "fem-cfd"]:
+        wl, plain, fused = _compiled(suite)
+        b_plain = plain.transfer_bytes_per_element()
+        b_fused = fused.transfer_bytes_per_element()
+        saved = b_plain - b_fused
+        savings[suite] = saved
+        internal = sorted(
+            t for fk in fused.fused.values() for t in fk.internalized
+        )
+        rows.append((
+            suite,
+            b_plain,
+            b_fused,
+            f"{saved / b_plain:.0%}",
+            ", ".join(internal) or "-",
+        ))
+        assert b_fused <= b_plain, suite
+    text = ascii_table(
+        ["suite", "unfused B/elem", "fused B/elem", "eliminated",
+         "on-device intermediates"],
+        rows,
+        title=f"Modeled transfer traffic under fusion (n={DEGREE})",
+    )
+    emit(out_dir, "fusion_transfer.txt", text)
+    # the demoted intermediate v (DEGREE^3 doubles) crossed the unfused
+    # boundary twice (out of one kernel, into the next); at least its
+    # full share must vanish from the modeled traffic
+    intermediate_bytes = DEGREE ** 3 * 8
+    assert savings["helmholtz-gradient"] >= intermediate_bytes
+    assert savings["smoother"] >= intermediate_bytes
+    # fem-cfd has no demotable intermediate, but the shared streamed
+    # input u is transferred once instead of per member kernel
+    assert savings["fem-cfd"] >= intermediate_bytes

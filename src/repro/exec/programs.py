@@ -44,8 +44,16 @@ def run_chain_batch(
     order.  ``elements`` maps streamed tensors to ``(Ne, *shape)``
     stacks; ``static_inputs`` maps shared tensors to plain arrays.  An
     input neither supplied nor produced by an earlier kernel is an
-    error naming the kernel and tensor.  Streamed outputs come back as
-    ``(Ne, *shape)`` stacks, static ones as plain arrays.
+    error naming the kernel and tensor; so are two kernels producing the
+    same tensor, and a streamed output colliding with a static input —
+    both would otherwise silently shadow data.  Streamed outputs come
+    back as ``(Ne, *shape)`` stacks, static ones as plain arrays.
+
+    A fused group (see :class:`repro.flow.program.FusionPlan`) arrives
+    here as a single chain stage, so the whole group is one
+    ``backend.run_batch`` call: one batched-einsum graph on ``numpy``,
+    one emitted C function on ``cnative`` — its internal intermediates
+    never materialize as per-kernel host arrays.
     """
     if isinstance(backend, str):
         backend = require_backend(backend)
@@ -57,6 +65,8 @@ def run_chain_batch(
         name: np.asarray(arr, dtype=np.float64)
         for name, arr in (static_inputs or {}).items()
     }
+    caller_static = set(static)
+    origin: Dict[str, str] = {}  # tensor name -> kernel that produced it
     produced: Dict[str, np.ndarray] = {}
     for item in stages:
         fn, prog = item if isinstance(item, tuple) else (item, None)
@@ -72,6 +82,21 @@ def run_chain_batch(
                     "output of an earlier kernel in the chain"
                 )
             statics[d.name] = static[d.name]
+        for d in fn.outputs():
+            if d.name in origin:
+                raise SimulationError(
+                    f"chain kernels {origin[d.name]!r} and {fn.name!r} "
+                    f"both produce tensor {d.name!r}; the second would "
+                    "silently shadow the first"
+                )
+            if element_inputs and d.name in caller_static:
+                raise SimulationError(
+                    f"kernel {fn.name!r} streams output {d.name!r} over "
+                    "a static input of the same name; rename one — later "
+                    "kernels could not tell the per-element stack from "
+                    "the shared operand"
+                )
+            origin[d.name] = fn.name
         if element_inputs:
             outs = backend.run_batch(
                 fn, streamed, statics, element_inputs, prog=prog

@@ -25,6 +25,7 @@ across hosts — over a shared spool/cache filesystem, or over TCP
 from repro.flow.options import FlowOptions, SystemOptions
 from repro.flow.pipeline import FlowResult, compile_flow
 from repro.flow.program import (
+    FusionPlan,
     Program,
     ProgramFlow,
     ProgramKernel,

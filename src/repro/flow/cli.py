@@ -42,7 +42,12 @@ from repro.flow.artifacts import write_artifacts
 from repro.flow.executors import DEFAULT_EXECUTOR, executor_names
 from repro.flow.options import FlowOptions, SystemOptions
 from repro.flow.session import Flow, FlowTrace, compile_many
-from repro.flow.stages import FRONT_END_STAGES, registered_stages, stage_names
+from repro.flow.stages import (
+    FRONT_END_STAGES,
+    FUSED_GROUP_STAGES,
+    registered_stages,
+    stage_names,
+)
 from repro.flow.store import DiskStageCache, StageCache
 from repro.mnemosyne.sharing import SharingMode
 from repro.system.board import boards, get_board
@@ -148,11 +153,22 @@ def _print_stages() -> None:
     from repro.utils import ascii_table
 
     rows = [
-        (s.name, ", ".join(s.inputs), ", ".join(s.outputs), s.description)
+        (
+            s.name,
+            "fused group" if s.name in FUSED_GROUP_STAGES else "kernel",
+            ", ".join(s.inputs),
+            ", ".join(s.outputs),
+            s.description,
+        )
         for s in registered_stages()
     ]
-    print(ascii_table(["stage", "inputs", "outputs", "description"], rows,
-                      title="Registered flow stages"))
+    print(ascii_table(
+        ["stage", "fusion scope", "inputs", "outputs", "description"], rows,
+        title="Registered flow stages",
+    ))
+    print("fusion scope: with --fuse, 'fused group' stages run once per "
+          "fused kernel group; 'kernel' stages always run per member "
+          "kernel (shared with unfused compiles)")
 
 
 def _print_backends() -> None:
@@ -436,6 +452,21 @@ def _print_service_stats(stats) -> None:
               f"{cache.get('remote_hits', 0)} served remote")
 
 
+def _listen_security_warning(host, port, tenants) -> "Optional[str]":
+    """The transport is plaintext TCP with a shared token; binding beyond
+    loopback without per-tenant isolation deserves a nudge (None: fine)."""
+    if host in ("127.0.0.1", "localhost", "::1") or tenants:
+        return None
+    return (
+        f"warning: binding {host}:{port} is reachable beyond "
+        "loopback with a single shared token and no transport "
+        "encryption; add --tenant NAME=TOKEN per user, and front "
+        "the broker with an SSH tunnel (ssh -L) or a TLS reverse "
+        "proxy on untrusted networks (see README, 'Securing a "
+        "broker')"
+    )
+
+
 def _broker_main(argv) -> int:
     import time
 
@@ -458,6 +489,9 @@ def _broker_main(argv) -> int:
         from repro.flow.service import start_service_broker
 
         host, port = parse_hostport(args.listen, listening=True)
+        caution = _listen_security_warning(host, port, args.tenant)
+        if caution:
+            print(caution, file=sys.stderr)
         server = start_service_broker(
             host, port, resolve_token(args.token) or "",
             DiskStageCache(args.cache_dir),
@@ -528,6 +562,10 @@ def build_service_parser(verb: str) -> argparse.ArgumentParser:
                             "cnative)")
         p.add_argument("--functional-ne", type=int, default=8, metavar="N",
                        help="batch size of that functional run (default 8)")
+        p.add_argument("--fuse", action="store_true",
+                       help="compile submitted multi-kernel program text "
+                            "under fusion='auto' on the workers (the plan "
+                            "rides the job spec; single kernels ignore it)")
     else:
         p.add_argument("job", metavar="JOB_ID",
                        help="the id 'cfdlang-flow submit' printed")
@@ -571,6 +609,10 @@ def build_program_parser() -> argparse.ArgumentParser:
     p.add_argument("--functional-ne", type=int, default=8, metavar="N",
                    help="element batch size of that functional run "
                         "(default 8)")
+    p.add_argument("--fuse", action="store_true",
+                   help="compile under fusion='auto': contiguous "
+                        "streamed-compatible kernels merge into one "
+                        "composite system with on-device intermediates")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persist the stage cache to DIR (content-addressed "
                         "pickle store shared with every other verb)")
@@ -610,8 +652,9 @@ def _program_main(argv) -> int:
         DiskStageCache(args.cache_dir) if args.cache_dir else StageCache()
     )
     trace = FlowTrace()
+    options = FlowOptions(fusion="auto") if args.fuse else None
     try:
-        result = compile_program(program, cache=cache, trace=trace)
+        result = compile_program(program, options, cache=cache, trace=trace)
     except SystemGenerationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -667,6 +710,10 @@ def build_solve_parser() -> argparse.ArgumentParser:
                         "(default numpy)")
     p.add_argument("--seed", type=int, default=2021,
                    help="synthetic element data seed (default 2021)")
+    p.add_argument("--fuse", action="store_true",
+                   help="compile each step under fusion='auto' (one "
+                        "backend call per fused kernel group; carried "
+                        "outputs stay on the fused interface)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persist the stage cache to DIR")
     p.add_argument("--trace", action="store_true",
@@ -697,6 +744,7 @@ def _solve_main(argv) -> int:
             backend=args.exec_backend,
             cache=cache,
             trace=trace,
+            fusion="auto" if args.fuse else None,
         )
         result = loop.run(workload.elements, workload.static,
                           steps=args.steps)
@@ -784,11 +832,14 @@ def _submit_main(args, client) -> int:
         print("error: provide a source file or --app", file=sys.stderr)
         return 2
     text = source_fingerprint(source)
-    options = FlowOptions(system=SystemOptions(
-        n_elements=args.ne,
-        exec_backend=args.exec_backend,
-        functional_elements=args.functional_ne,
-    ))
+    options = FlowOptions(
+        fusion="auto" if args.fuse else None,
+        system=SystemOptions(
+            n_elements=args.ne,
+            exec_backend=args.exec_backend,
+            functional_elements=args.functional_ne,
+        ),
+    )
     points = [
         (
             text,

@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.codegen.hlsdirectives import HlsDirectives
+from repro.errors import SystemGenerationError
 from repro.mnemosyne.sharing import SharingMode
 from repro.system.board import Board, ZCU106
 from repro.system.platform_data import DEFAULT_PLATFORM, PlatformModel
@@ -77,8 +78,32 @@ class FlowOptions:
     #: 'innermost'); or force "innermost" | "outside" | "free"
     reduction_placement: Optional[str] = None
     fuse_init: bool = True
+    #: kernel fusion for multi-kernel programs: None (one system per
+    #: kernel), ``"auto"`` (greedy grouping of streamed-compatible
+    #: adjacent kernels), or an explicit tuple of kernel-name groups
+    #: (``(("helmholtz", "update"),)``).  Single-kernel flows ignore it.
+    fusion: Optional[object] = None
+    #: outputs that stay on the fused interface even when consumed
+    #: inside their group (solver carries, observed intermediates)
+    fusion_keep: Tuple[str, ...] = ()
     #: system-level (k, m, board, workload) knobs of the last two stages
     system: SystemOptions = field(default_factory=SystemOptions)
+
+    def __post_init__(self) -> None:
+        # normalize the fusion plan so spec round-trips and equality work
+        # regardless of whether callers pass lists or tuples
+        if isinstance(self.fusion, str):
+            if self.fusion != "auto":
+                raise SystemGenerationError(
+                    f"fusion must be None, 'auto', or explicit kernel "
+                    f"groups; got {self.fusion!r}"
+                )
+        elif self.fusion is not None:
+            object.__setattr__(
+                self, "fusion", tuple(tuple(g) for g in self.fusion)
+            )
+        if not isinstance(self.fusion_keep, tuple):
+            object.__setattr__(self, "fusion_keep", tuple(self.fusion_keep))
 
     def effective_reduction_placement(self) -> str:
         if self.reduction_placement is not None:
@@ -127,6 +152,12 @@ class FlowOptions:
             },
             "reduction_placement": self.reduction_placement,
             "fuse_init": self.fuse_init,
+            "fusion": (
+                self.fusion
+                if self.fusion is None or isinstance(self.fusion, str)
+                else [list(group) for group in self.fusion]
+            ),
+            "fusion_keep": list(self.fusion_keep),
             "system": {
                 "k": self.system.k,
                 "m": self.system.m,
@@ -167,6 +198,15 @@ class FlowOptions:
             },
             reduction_placement=spec["reduction_placement"],
             fuse_init=spec["fuse_init"],
+            # .get(): job specs written before the fusion release (the
+            # standing broker reloads durable jobs from disk) lack these
+            fusion=(
+                spec.get("fusion")
+                if spec.get("fusion") is None
+                or isinstance(spec.get("fusion"), str)
+                else tuple(tuple(group) for group in spec["fusion"])
+            ),
+            fusion_keep=tuple(spec.get("fusion_keep", ())),
             system=SystemOptions(
                 k=system["k"],
                 m=system["m"],

@@ -44,7 +44,9 @@ class FlowResult:
     """
 
     options: FlowOptions
-    program: Program
+    #: the analyzed CFDlang AST; None for function-seeded sessions (a
+    #: fused group has no single source AST — see ``Flow.from_function``)
+    program: Optional[Program]
     function: Function
     poly: PolyProgram
     kernel: KernelCode
@@ -146,8 +148,17 @@ def compile_flow(
     addressed, so the shim hits exactly the same cache entries as the
     program API — existing callers keep identical results and reuse.
     """
+    import warnings
+
     from repro.flow.program import Program as KernelProgram, compile_program
 
+    warnings.warn(
+        "compile_flow is deprecated; use repro.flow.program.compile_program "
+        "(or compile_any) — it accepts single kernels and multi-kernel "
+        "programs and hits the same per-kernel cache entries",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     opts = options or FlowOptions()
     program = KernelProgram(opts.kernel_name).add_kernel(
         opts.kernel_name, source

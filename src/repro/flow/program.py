@@ -22,12 +22,21 @@ a :class:`Program` (or its text serialization) to
 :func:`compile_program`.  The executor ladder funnels everything through
 it, so program jobs ride the thread/process/distributed/service
 backends unchanged.
+
+When :attr:`~repro.flow.options.FlowOptions.fusion` is set, a
+:class:`FusionPlan` groups contiguous kernels and each group compiles as
+*one* composite system: the per-kernel front end (parse/analyze/lower)
+still runs per member — against the same cache keys an unfused compile
+uses — then :func:`repro.teil.fuse.fuse_functions` merges the lowered
+members and a function-seeded :class:`Flow` carries the composite
+through every remaining stage under a cache identity composed from the
+member fingerprints.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.cfdlang.ast import Program as CfdlangAst
 from repro.cfdlang.parser import parse_program
@@ -37,6 +46,8 @@ from repro.errors import SystemGenerationError
 from repro.flow.options import FlowOptions
 from repro.flow.session import Flow, FlowTrace
 from repro.flow.store import CacheBackend, SingleFlight, StageCache
+from repro.teil.fuse import FusedKernel, fuse_functions
+from repro.teil.program import Function
 
 PROGRAM_HEADER = "=== cfdlang program"
 KERNEL_HEADER = "=== kernel"
@@ -229,6 +240,190 @@ class Program:
         return program.validate()
 
 
+def _streamed_inputs(fn: Function) -> List[str]:
+    """Inputs the port-class policy would stream for this kernel alone
+    (exactly one reader statement — see :func:`repro.mnemosyne.config.
+    port_class_assignment`)."""
+    return [d.name for d in fn.inputs() if len(fn.consumers(d.name)) == 1]
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """Which contiguous kernel groups of a program compile as one system.
+
+    ``groups`` are tuples of adjacent kernel names, in program order and
+    disjoint; kernels in no group compile individually, exactly as
+    without a plan.  ``keep`` lists outputs that must stay on a fused
+    interface even if only consumed inside their group (solver carries).
+
+    Build plans with :meth:`resolve`: ``"auto"`` greedily groups
+    *streamed-compatible* adjacent kernels — a group starts at a kernel
+    with a per-element (single-reader) input; a kernel joins when it
+    reads a tensor that is per-element *for the group* (a member output,
+    or an input some member reads exactly once), produces no tensor the
+    group already produced, and rebinds no tensor an earlier member read
+    externally; a kernel touching no per-element data ends the group.  Explicit groups skip the
+    compatibility heuristics but are validated for existence,
+    contiguity, and disjointness; impossible merges (duplicate
+    producers, read-before-write rebinding) still fail in
+    :func:`~repro.teil.fuse.fuse_functions` with both kernels named.
+    """
+
+    groups: Tuple[Tuple[str, ...], ...] = ()
+    keep: Tuple[str, ...] = ()
+
+    @staticmethod
+    def group_name(members: Tuple[str, ...]) -> str:
+        return "fused_" + "_".join(members)
+
+    def units(self, program: "Program") -> List[Union[str, Tuple[str, ...]]]:
+        """Kernel names / fused groups in execution order."""
+        starts = {group[0]: group for group in self.groups}
+        grouped = {name for group in self.groups for name in group}
+        out: List[Union[str, Tuple[str, ...]]] = []
+        for kernel in program.kernels:
+            if kernel.name in starts:
+                out.append(starts[kernel.name])
+            elif kernel.name not in grouped:
+                out.append(kernel.name)
+        return out
+
+    def keep_for(
+        self,
+        group: Tuple[str, ...],
+        program: "Program",
+        functions: Mapping[str, Function],
+    ) -> List[str]:
+        """Outputs of ``group`` that must survive on the fused interface:
+        the plan-wide keeps plus anything a kernel *outside* the group
+        consumes downstream."""
+        members = set(group)
+        produced = {
+            d.name for m in group for d in functions[m].outputs()
+        }
+        keep = {k for k in self.keep if k in produced}
+        order = program.kernel_names()
+        after = order[order.index(group[-1]) + 1:]
+        for name in after:
+            if name in members:
+                continue
+            for d in functions[name].inputs():
+                if d.name in produced:
+                    keep.add(d.name)
+        return sorted(keep)
+
+    @classmethod
+    def resolve(
+        cls,
+        spec,
+        program: "Program",
+        functions: Mapping[str, Function],
+        keep: Tuple[str, ...] = (),
+    ) -> "FusionPlan":
+        """Materialize a plan from an options-level fusion spec."""
+        if spec == "auto":
+            return cls(
+                groups=_auto_groups(program, functions), keep=tuple(keep)
+            )
+        order = program.kernel_names()
+        groups = tuple(tuple(g) for g in spec)
+        claimed: Dict[str, Tuple[str, ...]] = {}
+        for group in groups:
+            if len(group) < 2:
+                raise SystemGenerationError(
+                    f"fusion group {group} needs at least two kernels"
+                )
+            for name in group:
+                if name not in order:
+                    raise SystemGenerationError(
+                        f"fusion group names unknown kernel {name!r}; "
+                        f"program {program.name!r} has: {', '.join(order)}"
+                    )
+                if name in claimed:
+                    raise SystemGenerationError(
+                        f"kernel {name!r} appears in two fusion groups: "
+                        f"{claimed[name]} and {group}"
+                    )
+                claimed[name] = group
+            first = order.index(group[0])
+            if tuple(order[first:first + len(group)]) != group:
+                raise SystemGenerationError(
+                    f"fusion group {group} is not a contiguous run of "
+                    f"program {program.name!r}'s kernels ({', '.join(order)})"
+                )
+        return cls(groups=groups, keep=tuple(keep))
+
+
+def _auto_groups(
+    program: "Program", functions: Mapping[str, Function]
+) -> Tuple[Tuple[str, ...], ...]:
+    """Greedy grouping of streamed-compatible adjacent kernels."""
+    groups: List[Tuple[str, ...]] = []
+    current: List[str] = []
+
+    def flush() -> None:
+        if len(current) >= 2:
+            groups.append(tuple(current))
+        current.clear()
+
+    for kernel in program.kernels:
+        fn = functions[kernel.name]
+        if current and _auto_compatible(current, fn, functions):
+            current.append(kernel.name)
+        elif _streamed_inputs(fn):
+            # only a kernel with its own per-element input can *start*
+            # a group; joining an existing group is judged relative to
+            # the group's streamed set in _auto_compatible
+            flush()
+            current.append(kernel.name)
+        else:
+            # static-only kernel: runs once per batch, not per element;
+            # fusing it into a streamed group would replay it per element
+            flush()
+    flush()
+    return tuple(groups)
+
+
+def _group_streamed(
+    current: List[str], functions: Mapping[str, Function]
+) -> set:
+    """Tensors that are per-element from the group's point of view:
+    member outputs (chain intermediates stream with the element even
+    when re-read many times) plus inputs some member reads exactly once
+    (the single-kernel streaming criterion of any one member extends to
+    the whole group — see ``system_port_hints`` in teil.fuse)."""
+    streamed: set = set()
+    for m in current:
+        mfn = functions[m]
+        streamed.update(d.name for d in mfn.outputs())
+        streamed.update(_streamed_inputs(mfn))
+    return streamed
+
+
+def _auto_compatible(
+    current: List[str], fn: Function, functions: Mapping[str, Function]
+) -> bool:
+    group_outputs: set = set()
+    group_external_reads: set = set()
+    for m in current:
+        mfn = functions[m]
+        for d in mfn.inputs():
+            if d.name not in group_outputs:
+                group_external_reads.add(d.name)
+        group_outputs.update(d.name for d in mfn.outputs())
+    mine_inputs = {d.name for d in fn.inputs()}
+    if not (mine_inputs & _group_streamed(current, functions)):
+        # no per-element dataflow link: fusing buys no transfer reuse
+        # (sharing only static operands does not make the chain stream)
+        return False
+    outs = {d.name for d in fn.outputs()}
+    if outs & group_outputs:
+        return False  # duplicate producer
+    if outs & group_external_reads:
+        return False  # would rebind an earlier member's external read
+    return True
+
+
 @dataclass
 class ProgramResult:
     """Per-kernel :class:`~repro.flow.pipeline.FlowResult`\\ s of one
@@ -236,6 +431,10 @@ class ProgramResult:
 
     program: Program
     results: Dict[str, "FlowResult"]
+    #: the plan the program compiled under (None: no fusion requested)
+    fusion: Optional[FusionPlan] = None
+    #: fused-group records keyed by the composite kernel's name
+    fused: Dict[str, FusedKernel] = field(default_factory=dict)
 
     def __getitem__(self, kernel_name: str) -> "FlowResult":
         try:
@@ -257,9 +456,24 @@ class ProgramResult:
         return list(self.results)
 
     def chain(self) -> List[Tuple[object, object]]:
-        """(function, poly) pairs in kernel order — the form
-        :func:`repro.exec.programs.run_chain_batch` executes."""
+        """(function, poly) pairs in unit order — the form
+        :func:`repro.exec.programs.run_chain_batch` executes.  Under a
+        fusion plan each fused group is one entry, so the whole group
+        runs as a single ``backend.run_batch`` call."""
         return [(r.function, r.poly) for r in self.results.values()]
+
+    def transfer_bytes_per_element(self) -> int:
+        """Modeled per-element host<->accelerator traffic of the whole
+        chain (streamed bytes in + out, summed over units).  Comparing a
+        fused against an unfused compile of the same program gives the
+        transfer bytes the fusion's on-device intermediates eliminated."""
+        from repro.system.integration import transfer_footprint
+
+        total = 0
+        for res in self.results.values():
+            fp = transfer_footprint(res.function, res.port_classes)
+            total += fp.bytes_in_per_element + fp.bytes_out_per_element
+        return total
 
     def summary(self) -> str:
         from repro.utils import ascii_table
@@ -267,19 +481,35 @@ class ProgramResult:
         rows = []
         for name, res in self.results.items():
             sim = res.sim
+            fk = self.fused.get(name)
             rows.append(
                 (
-                    name,
+                    name if fk is None else f"{name} [{len(fk.members)} fused]",
                     len(res.function.statements),
-                    f"{sim.k}x{sim.m}",
-                    f"{sim.n_elements / sim.total_seconds:,.0f}",
+                    "-" if sim is None else f"{sim.k}x{sim.m}",
+                    "-"
+                    if sim is None
+                    else f"{sim.n_elements / sim.total_seconds:,.0f}",
                 )
             )
-        return ascii_table(
+        table = ascii_table(
             ["kernel", "stmts", "k x m", "elems/s (model)"],
             rows,
             title=f"Program {self.program.name!r}",
         )
+        notes = []
+        for name, fk in self.fused.items():
+            internal = ", ".join(fk.internalized) or "none"
+            notes.append(
+                f"fused {name!r} <- {' + '.join(fk.members)} "
+                f"(on-device intermediates: {internal})"
+            )
+        if self.fused:
+            notes.append(
+                "modeled transfer bytes/element: "
+                f"{self.transfer_bytes_per_element():,}"
+            )
+        return table + ("\n" + "\n".join(notes) if notes else "")
 
 
 class ProgramFlow:
@@ -305,18 +535,62 @@ class ProgramFlow:
         self.trace = trace
         self.flight = flight
 
+    def _kernel_flow(self, kernel: ProgramKernel) -> Flow:
+        return Flow(
+            kernel.source,
+            self.options.for_kernel(kernel.name),
+            cache=self.cache,
+            trace=self.trace,
+            flight=self.flight,
+        )
+
     def run(self) -> ProgramResult:
+        if self.options.fusion is None:
+            results: Dict[str, "FlowResult"] = {}
+            for kernel in self.program.kernels:
+                results[kernel.name] = self._kernel_flow(kernel).run()
+            return ProgramResult(program=self.program, results=results)
+        return self._run_fused()
+
+    def _run_fused(self) -> ProgramResult:
+        # per-kernel front end first — identical flows (and so identical
+        # parse/analyze/lower cache keys) to an unfused compile, which is
+        # what lets fused and unfused sessions share front-end entries
+        flows = {
+            kernel.name: self._kernel_flow(kernel).run_until("lower")
+            for kernel in self.program.kernels
+        }
+        functions = {name: flow["function"] for name, flow in flows.items()}
+        plan = FusionPlan.resolve(
+            self.options.fusion,
+            self.program,
+            functions,
+            keep=self.options.fusion_keep,
+        )
         results: Dict[str, "FlowResult"] = {}
-        for kernel in self.program.kernels:
-            flow = Flow(
-                kernel.source,
-                self.options.for_kernel(kernel.name),
+        fused: Dict[str, FusedKernel] = {}
+        for unit in plan.units(self.program):
+            if isinstance(unit, str):
+                results[unit] = flows[unit].resume()
+                continue
+            fk = fuse_functions(
+                [functions[m] for m in unit],
+                name=FusionPlan.group_name(unit),
+                keep_outputs=plan.keep_for(unit, self.program, functions),
+            )
+            flow = Flow.from_function(
+                fk.function,
+                self.options.for_kernel(fk.function.name),
                 cache=self.cache,
                 trace=self.trace,
                 flight=self.flight,
+                fingerprint=fk.fingerprint(),
             )
-            results[kernel.name] = flow.run()
-        return ProgramResult(program=self.program, results=results)
+            results[fk.function.name] = flow.run()
+            fused[fk.function.name] = fk
+        return ProgramResult(
+            program=self.program, results=results, fusion=plan, fused=fused
+        )
 
 
 def compile_program(

@@ -231,6 +231,52 @@ class Flow:
         #: stages reading them bypass the shared cache entirely
         self._tainted: set = set()
 
+    @classmethod
+    def from_function(
+        cls,
+        fn,
+        options: Optional[FlowOptions] = None,
+        *,
+        cache: Optional[CacheBackend] = None,
+        trace: Optional[FlowTrace] = None,
+        flight: Optional[SingleFlight] = None,
+        fingerprint: Optional[str] = None,
+    ) -> "Flow":
+        """A session seeded at the ``lower`` boundary with a built
+        TeIL :class:`~repro.teil.program.Function`.
+
+        The front-end stages (parse/analyze/lower) are marked complete
+        and the function's cache identity is its content ``fingerprint``
+        (the function's own by default; pass one explicitly for derived
+        artifacts such as a :class:`~repro.teil.fuse.FusedKernel`, whose
+        fingerprint composes its members').  The key uses the same
+        ``("content", "function", ...)`` scheme the ``lower`` stage
+        re-keys its output with, so a seeded session shares every
+        downstream stage entry with sessions that lowered to the same
+        function from source.
+        """
+        flow = cls.__new__(cls)
+        flow.source = None
+        flow.options = options or FlowOptions()
+        flow.cache = cache if cache is not None else StageCache()
+        flow.trace = trace
+        flow.flight = flight
+        fp = fn.fingerprint() if fingerprint is None else fingerprint
+        flow.state = {"source": None, "ast": None, "program": None, "function": fn}
+        flow._keys = {
+            "source": _digest("function-seed", str(STAGE_API_VERSION), fp),
+            "ast": _digest("function-seed", "ast", str(STAGE_API_VERSION), fp),
+            "program": _digest(
+                "function-seed", "program", str(STAGE_API_VERSION), fp
+            ),
+            "function": _digest(
+                "content", "function", str(STAGE_API_VERSION), fp
+            ),
+        }
+        flow._completed = ["parse", "analyze", "lower"]
+        flow._tainted = set()
+        return flow
+
     # -- state access --------------------------------------------------------
     def __getitem__(self, key: str):
         try:

@@ -19,6 +19,7 @@ hit rate the CI benchmark gate asserts on.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
@@ -117,6 +118,13 @@ class SolverLoop:
     the same application — still useful for benchmarking the cross-step
     cache behavior.
 
+    ``fusion`` (or a fusion plan preset on ``options``) compiles the
+    chain under a :class:`~repro.flow.program.FusionPlan`, so each step's
+    inner loop makes one backend call per fused group; carry sources are
+    added to ``fusion_keep`` automatically — an output the loop feeds
+    back must stay on the fused interface even if it is also consumed
+    inside its group.
+
     The loop owns one cache/trace pair across all steps (pass ``cache``
     to share with a wider session, e.g. a disk cache reused between
     processes).
@@ -131,10 +139,18 @@ class SolverLoop:
         backend: str = "numpy",
         cache: Optional[CacheBackend] = None,
         trace: Optional[FlowTrace] = None,
+        fusion=None,
     ) -> None:
         self.program = program.validate()
         self.options = options or FlowOptions()
         self.carry = dict(carry or {})
+        if fusion is not None:
+            self.options = dataclasses.replace(self.options, fusion=fusion)
+        if self.options.fusion is not None and self.carry:
+            keep = tuple(
+                sorted(set(self.options.fusion_keep) | set(self.carry))
+            )
+            self.options = dataclasses.replace(self.options, fusion_keep=keep)
         self.backend = backend
         self.cache = cache if cache is not None else StageCache()
         self.trace = trace if trace is not None else FlowTrace()

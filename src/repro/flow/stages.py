@@ -33,9 +33,12 @@ from repro.teil import canonicalize, lower_program
 from repro.teil.program import Function
 
 #: bump when a stage's semantics change, to invalidate stale cache entries
-#: (3: per-kernel cache granularity — canonicalized source keys and
-#: content-keyed TeIL rekeying changed every downstream key)
-STAGE_API_VERSION = 3
+#: (4: chain fusion — port-class assignment honors streamed-input hints
+#: on fused functions, and function-seeded sessions join the same
+#: content-keyed namespace; 3: per-kernel cache granularity —
+#: canonicalized source keys and content-keyed TeIL rekeying changed
+#: every downstream key)
+STAGE_API_VERSION = 4
 
 StageFn = Callable[[Mapping[str, object], FlowOptions], Dict[str, object]]
 ParamFn = Callable[[FlowOptions], Tuple]
@@ -514,6 +517,14 @@ FINAL_STAGE = stage_names()[-1]
 #: ``build-system``.  A k x m x board sweep re-runs only what follows.
 FRONT_END_STAGES = tuple(stage_names()[: stage_names().index("build-system")])
 SYSTEM_STAGES = ("build-system", "simulate")
+
+#: the stages that run per fused *group* when a program compiles under a
+#: fusion plan: everything after ``lower``.  The per-kernel front end
+#: (parse/analyze/lower) always runs per member kernel — that is what
+#: keeps fused and unfused compiles sharing front-end cache entries.
+FUSED_GROUP_STAGES = tuple(
+    stage_names()[stage_names().index("lower") + 1:]
+)
 
 
 def source_fingerprint(source) -> str:

@@ -85,14 +85,26 @@ def port_class_assignment(prog: PolyProgram) -> Dict[str, PortClass]:
     read by two or more statements, i.e. reused operator matrices like S —
     are transferred once and need only the accelerator's ports, as do all
     temporaries.
+
+    A fused chain breaks the reader-count heuristic: a per-element state
+    tensor read once by each of three fused member kernels looks like a
+    thrice-read static operand in the composite.  :func:`repro.teil.fuse.
+    fuse_functions` therefore stamps ``system_port_hints`` on the fused
+    function — the inputs that were per-element in at least one member —
+    and when present that set, not the reader count, decides which
+    inputs stream.
     """
+    hints = getattr(prog.function, "system_port_hints", None)
     out: Dict[str, PortClass] = {}
     for d in prog.function.decls.values():
         if d.kind is TensorKind.OUTPUT:
             out[d.name] = PortClass.ACCELERATOR_AND_SYSTEM
         elif d.kind is TensorKind.INPUT:
-            n_readers = len(prog.readers_of(d.name))
-            static_operand = n_readers >= 2
+            if hints is not None:
+                static_operand = d.name not in hints
+            else:
+                n_readers = len(prog.readers_of(d.name))
+                static_operand = n_readers >= 2
             out[d.name] = (
                 PortClass.ACCELERATOR_ONLY
                 if static_operand

@@ -19,6 +19,7 @@ Key passes:
 from repro.teil.types import TensorKind, TensorDecl
 from repro.teil.ops import Contraction, Ewise, EwiseKind
 from repro.teil.program import Function, Statement
+from repro.teil.fuse import FusedKernel, fuse_functions
 from repro.teil.from_ast import lower_program
 from repro.teil.canonicalize import canonicalize, factorize_contractions
 from repro.teil.interp import interpret
@@ -32,6 +33,8 @@ __all__ = [
     "EwiseKind",
     "Function",
     "Statement",
+    "FusedKernel",
+    "fuse_functions",
     "lower_program",
     "canonicalize",
     "factorize_contractions",

@@ -151,4 +151,9 @@ def copy_function(fn: Function) -> Function:
     out = Function(fn.name)
     out.decls = dict(fn.decls)
     out.statements = list(fn.statements)
+    hints = getattr(fn, "system_port_hints", None)
+    if hints is not None:
+        # fused functions carry streamed-input hints for port-class
+        # assignment; a copy must not silently drop them
+        out.system_port_hints = hints
     return out
