@@ -1,0 +1,122 @@
+"""HBM scaling on the Alveo U280 (Sec. VIII future work, sequel flow).
+
+Regenerates the paper-style max-k table for a data-center HBM card next
+to the embedded ZCU106: auto-sized (k, m) per board, then a k = m sweep
+on the U280 under both memory models.  The banked HBM transfer model
+(``memory_model="hbm"``, one pseudo-channel per streamed tensor) moves
+tensors concurrently, so the sweep exposes where the design turns from
+bandwidth-limited (small k: transfers dominate) to compute/control-
+limited (large k) — which is exactly the regime split the single shared
+AXI port of the BRAM model cannot show.
+"""
+
+from benchmarks.conftest import BENCH_EXECUTOR, BENCH_JOBS, QUICK, emit
+from benchmarks.bench_support import make_bench_cache
+from repro.apps.helmholtz import HELMHOLTZ_DSL
+from repro.flow import FlowOptions, SystemOptions, compile_many
+from repro.system.board import ALVEO_U280, ZCU106
+from repro.utils import ascii_table
+
+NE = 10_000 if QUICK else 50_000
+K_SWEEP = [1, 4, 16, 64] if QUICK else [1, 2, 4, 8, 16, 32, 64]
+
+CACHE = make_bench_cache(BENCH_EXECUTOR)
+
+
+def _options(board, memory_model, k=None, m=None):
+    return FlowOptions(
+        system=SystemOptions(
+            k=k, m=m, board=board, memory_model=memory_model, n_elements=NE
+        )
+    )
+
+
+def build_rows():
+    """(board, model, k, m, transfer_cycles, total_seconds, banking)."""
+    jobs = [
+        (HELMHOLTZ_DSL, _options(ZCU106, "bram")),
+        (HELMHOLTZ_DSL, _options(ALVEO_U280, "bram")),
+        (HELMHOLTZ_DSL, _options(ALVEO_U280, "hbm")),
+    ] + [
+        (HELMHOLTZ_DSL, _options(ALVEO_U280, model, k=k, m=k))
+        for k in K_SWEEP
+        for model in ("bram", "hbm")
+    ]
+    results = compile_many(
+        jobs, cache=CACHE, jobs=BENCH_JOBS, executor=BENCH_EXECUTOR
+    )
+    rows = []
+    for (_, opts), res in zip(jobs, results):
+        rows.append(
+            (
+                opts.resolved_board().name,
+                opts.system.memory_model,
+                res.system.k,
+                res.system.m,
+                res.sim.transfer_cycles,
+                res.sim.total_seconds,
+                res.banking,
+            )
+        )
+    return rows
+
+
+def test_hbm_u280_max_k(benchmark, out_dir):
+    rows = build_rows()
+
+    # -- max-k table: the U280 scales past the embedded board ---------------
+    auto = {(r[0], r[1]): r for r in rows[:3]}
+    zcu = auto[(ZCU106.name, "bram")]
+    u280_bram = auto[(ALVEO_U280.name, "bram")]
+    u280_hbm = auto[(ALVEO_U280.name, "hbm")]
+    assert u280_bram[2] > zcu[2], "U280 must fit more parallel kernels"
+    assert (u280_hbm[2], u280_hbm[3]) == (u280_bram[2], u280_bram[3]), (
+        "the memory model must not change the auto-sized configuration"
+    )
+
+    # -- banking invariants on every HBM point ------------------------------
+    for board, model, k, m, _, _, banking in rows:
+        if model != "hbm":
+            assert banking is None
+            continue
+        assert banking is not None
+        assert all(a.n_channels >= 1 for a in banking.assignments)
+        assert all(
+            u <= 1.0 for u in banking.channel_utilization().values()
+        )
+
+    # -- regime split along the k sweep -------------------------------------
+    sweep = [r for r in rows[3:] if r[1] == "hbm"]
+    by_k = {r[2]: r for r in sweep}
+    ks = sorted(by_k)
+    # banked transfers beat the serialized AXI port at every k
+    bram_by_k = {r[2]: r for r in rows[3:] if r[1] == "bram"}
+    for k in ks:
+        assert by_k[k][4] < bram_by_k[k][4], (
+            f"k={k}: HBM transfers must be faster than single-port AXI"
+        )
+
+    timed = benchmark(build_rows)
+    assert len(timed) == len(rows)
+
+    table = [
+        (
+            board,
+            model,
+            f"{k}x{m}",
+            transfer,
+            f"{seconds * 1e3:.2f}",
+            "-" if banking is None
+            else f"{banking.channels_used}/{banking.n_channels}",
+        )
+        for board, model, k, m, transfer, seconds, banking in rows
+    ]
+    text = ascii_table(
+        ["board", "memory", "k x m", "transfer cyc", "time (ms)", "HBM ch"],
+        table,
+        title=(
+            f"Max-k scaling, U280 vs ZCU106 ({NE} elements; first three "
+            "rows auto-sized)"
+        ),
+    )
+    emit(out_dir, "hbm_u280_max_k.txt", text)

@@ -71,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of CFD elements to simulate")
     p.add_argument("--board", default=None, metavar="NAME",
                    help="target board (see --list-boards; default ZCU106)")
+    p.add_argument("--memory-model", choices=["bram", "hbm"],
+                   default="bram",
+                   help="off-chip memory architecture: 'bram' is the "
+                        "paper's flat single-AXI-port model (default); "
+                        "'hbm' runs the bank-assign stage, mapping every "
+                        "streamed tensor to HBM pseudo-channels on an "
+                        "HBM board (e.g. --board u280) and timing "
+                        "transfers against the banked bandwidth")
     p.add_argument("--no-sharing", action="store_true",
                    help="disable memory sharing")
     p.add_argument("--clique-sharing", action="store_true",
@@ -188,12 +196,25 @@ def _print_backends() -> None:
 def _print_boards() -> None:
     from repro.utils import ascii_table
 
+    # memory-system columns are appended after the original logic
+    # resources, so scripts slicing the early columns keep working
     rows = [
-        (b.name, b.part, b.lut, b.ff, b.dsp, b.bram36)
+        (
+            b.name, b.part, b.lut, b.ff, b.dsp, b.bram36,
+            b.memory.hbm_channels or "-",
+            (f"{b.memory.hbm_channel_gbytes_per_sec:g}"
+             if b.memory.has_hbm else "-"),
+            (f"{b.memory.ddr_gbytes_per_sec:g}"
+             if b.memory.ddr_gbytes_per_sec else "-"),
+        )
         for b in boards().values()
     ]
-    print(ascii_table(["board", "part", "LUT", "FF", "DSP", "BRAM36"], rows,
-                      title="Known target boards"))
+    print(ascii_table(
+        ["board", "part", "LUT", "FF", "DSP", "BRAM36",
+         "HBM ch", "GB/s/ch", "DDR GB/s"],
+        rows,
+        title="Known target boards",
+    ))
 
 
 def _cache_stats_line(cache) -> str:
@@ -562,6 +583,14 @@ def build_service_parser(verb: str) -> argparse.ArgumentParser:
                             "cnative)")
         p.add_argument("--functional-ne", type=int, default=8, metavar="N",
                        help="batch size of that functional run (default 8)")
+        p.add_argument("--board", default=None, metavar="NAME",
+                       help="target board for the sweep points "
+                            "(see --list-boards; default ZCU106)")
+        p.add_argument("--memory-model", choices=["bram", "hbm"],
+                       default="bram",
+                       help="off-chip memory architecture on the workers "
+                            "('hbm' needs an HBM board, e.g. --board "
+                            "u280; default bram)")
         p.add_argument("--fuse", action="store_true",
                        help="compile submitted multi-kernel program text "
                             "under fusion='auto' on the workers (the plan "
@@ -832,12 +861,15 @@ def _submit_main(args, client) -> int:
         print("error: provide a source file or --app", file=sys.stderr)
         return 2
     text = source_fingerprint(source)
+    board = get_board(args.board) if args.board else None
     options = FlowOptions(
         fusion="auto" if args.fuse else None,
         system=SystemOptions(
+            board=board,
             n_elements=args.ne,
             exec_backend=args.exec_backend,
             functional_elements=args.functional_ne,
+            memory_model=args.memory_model,
         ),
     )
     points = [
@@ -1172,6 +1204,7 @@ def main(argv=None) -> int:
             k=args.k, m=args.m, board=board, n_elements=args.ne,
             exec_backend=args.exec_backend,
             functional_elements=args.functional_ne,
+            memory_model=args.memory_model,
         ),
     )
     cache = (
@@ -1190,6 +1223,16 @@ def main(argv=None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     flow = Flow(source, options, cache=cache, trace=trace)
+    try:
+        return _flow_main(flow, args, options, cache, trace)
+    except SystemGenerationError as exc:
+        # e.g. --memory-model hbm on a board without HBM, an HBM spill,
+        # or an explicit k x m that does not fit the board
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _flow_main(flow, args, options, cache, trace) -> int:
     if args.stop_after:
         flow.run_until(args.stop_after)
         print(f"stopped after stage {args.stop_after!r}; "
@@ -1210,6 +1253,8 @@ def main(argv=None) -> int:
     print(result.hls.summary())
     print(result.memory.summary())
     print(result.system.summary())
+    if result.banking is not None:
+        print(result.banking.summary())
     if args.simulate:
         print(result.sim.summary())
     if result.functional is not None:

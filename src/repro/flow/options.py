@@ -48,6 +48,20 @@ class SystemOptions:
     exec_backend: Optional[str] = None
     #: batch size of that functional run
     functional_elements: int = 8
+    #: off-chip memory architecture of the ``bank-assign``/``simulate``
+    #: stages: "bram" keeps the paper's flat-BRAM + single-AXI-port model;
+    #: "hbm" assigns every transfer-footprint tensor to HBM pseudo-
+    #: channels (:mod:`repro.mnemosyne.hbm`) and times transfers against
+    #: the banked bandwidth — the target board must describe an HBM
+    #: memory system (e.g. the Alveo U280)
+    memory_model: str = "bram"
+
+    def __post_init__(self) -> None:
+        if self.memory_model not in ("bram", "hbm"):
+            raise SystemGenerationError(
+                f"memory_model must be 'bram' or 'hbm', got "
+                f"{self.memory_model!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -143,7 +157,7 @@ class FlowOptions:
             "directives": dataclasses.asdict(self.directives),
             "sharing": self.sharing.value,
             "temporaries_internal": self.temporaries_internal,
-            "board": dataclasses.asdict(self.board),
+            "board": self.board.to_spec(),
             "platform": dataclasses.asdict(self.platform),
             "clock_mhz": self.clock_mhz,
             "layout_overrides": dict(self.layout_overrides),
@@ -164,12 +178,13 @@ class FlowOptions:
                 "board": (
                     None
                     if self.system.board is None
-                    else dataclasses.asdict(self.system.board)
+                    else self.system.board.to_spec()
                 ),
                 "n_elements": self.system.n_elements,
                 "overlap_transfers": self.system.overlap_transfers,
                 "exec_backend": self.system.exec_backend,
                 "functional_elements": self.system.functional_elements,
+                "memory_model": self.system.memory_model,
             },
         }
 
@@ -188,7 +203,7 @@ class FlowOptions:
             directives=HlsDirectives(**spec["directives"]),
             sharing=SharingMode(spec["sharing"]),
             temporaries_internal=spec["temporaries_internal"],
-            board=Board(**spec["board"]),
+            board=Board.from_spec(spec["board"]),
             platform=PlatformModel(**spec["platform"]),
             clock_mhz=spec["clock_mhz"],
             layout_overrides=dict(spec["layout_overrides"]),
@@ -211,7 +226,9 @@ class FlowOptions:
                 k=system["k"],
                 m=system["m"],
                 board=(
-                    None if system["board"] is None else Board(**system["board"])
+                    None
+                    if system["board"] is None
+                    else Board.from_spec(system["board"])
                 ),
                 n_elements=system["n_elements"],
                 overlap_transfers=system["overlap_transfers"],
@@ -220,5 +237,6 @@ class FlowOptions:
                 # these keys
                 exec_backend=system.get("exec_backend"),
                 functional_elements=system.get("functional_elements", 8),
+                memory_model=system.get("memory_model", "bram"),
             ),
         )

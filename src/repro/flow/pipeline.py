@@ -19,6 +19,7 @@ from repro.exec.backend import FunctionalRecord
 from repro.hls import HlsReport
 from repro.memory import CompatibilityGraph
 from repro.mnemosyne import MnemosyneConfig, PortClass
+from repro.mnemosyne.hbm import BankingReport
 from repro.mnemosyne.plm import MemorySubsystem
 from repro.flow.options import FlowOptions
 from repro.poly.schedule import PolyProgram
@@ -60,6 +61,9 @@ class FlowResult:
     #: throughput record of the simulate stage's functional batch (only
     #: when :attr:`SystemOptions.exec_backend` selected a backend)
     functional: Optional[FunctionalRecord] = None
+    #: tensor -> HBM pseudo-channel report of the ``bank-assign`` stage
+    #: (only when :attr:`SystemOptions.memory_model` is ``"hbm"``)
+    banking: Optional["BankingReport"] = None
 
     # -- transfer footprint ---------------------------------------------------
     def transfer_footprint(self) -> TransferFootprint:
@@ -131,6 +135,10 @@ class FlowResult:
             self.build_system(k, m),
             n_elements,
             overlap_transfers=self.options.system.overlap_transfers,
+            # the banking report is sized for the stage's own (k, m); an
+            # explicit different k would need a re-assignment, so only
+            # reuse it for the flow's own configuration
+            banking=self.banking if k is None else None,
         )
 
 

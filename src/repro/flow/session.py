@@ -473,6 +473,7 @@ class Flow:
             system=self.state["system"],
             sim=self.state["sim"],
             functional=functional,
+            banking=self.state.get("banking"),
         )
 
 

@@ -33,12 +33,15 @@ from repro.teil import canonicalize, lower_program
 from repro.teil.program import Function
 
 #: bump when a stage's semantics change, to invalidate stale cache entries
-#: (4: chain fusion — port-class assignment honors streamed-input hints
+#: (5: HBM memory architectures — the ``bank-assign`` stage between
+#: build-system and simulate, Board grew a MemorySystem (its repr feeds
+#: the build-system key), and simulate consults the banking report;
+#: 4: chain fusion — port-class assignment honors streamed-input hints
 #: on fused functions, and function-seeded sessions join the same
 #: content-keyed namespace; 3: per-kernel cache granularity —
 #: canonicalized source keys and content-keyed TeIL rekeying changed
 #: every downstream key)
-STAGE_API_VERSION = 4
+STAGE_API_VERSION = 5
 
 StageFn = Callable[[Mapping[str, object], FlowOptions], Dict[str, object]]
 ParamFn = Callable[[FlowOptions], Tuple]
@@ -354,6 +357,59 @@ def _run_functional_batch(state, options):
     )
 
 
+def _run_bank_assign(state, options):
+    """Assign transfer-footprint tensors to HBM pseudo-channels.
+
+    Under the default ``memory_model="bram"`` the stage is the identity
+    (``banking`` is None), which keeps every BRAM-only cache key,
+    simulation, and functional result exactly as before the stage
+    existed.  Under ``"hbm"`` the demand set is derived from the built
+    system's element rate — k accelerators finishing a round every
+    (latency + control) cycles — and mapped onto the board's channels.
+    """
+    system = state["system"]
+    if options.system.memory_model != "hbm" or system is None:
+        return {"banking": None}
+    board = options.resolved_board()
+    if not board.memory.has_hbm:
+        from repro.system.board import boards
+
+        with_hbm = sorted(
+            b.name for b in boards().values() if b.memory.has_hbm
+        )
+        raise SystemGenerationError(
+            f"memory_model='hbm' but board {board.name!r} describes no HBM "
+            f"channels; boards with HBM: "
+            + (", ".join(with_hbm) or "none registered")
+        )
+    from repro.mnemosyne.hbm import assign_banks, demands_from_footprint
+    from repro.system.integration import transfer_footprint
+
+    p = options.platform
+    round_cycles = (
+        system.hls.latency_cycles + p.control_cycles_per_round(system.k)
+    )
+    elements_per_sec = system.k * system.clock_hz / round_cycles
+    footprint = transfer_footprint(state["function"], state["port_classes"])
+    demands = demands_from_footprint(
+        footprint,
+        state["function"].decls,
+        elements_per_sec=elements_per_sec,
+        n_elements=options.system.n_elements,
+    )
+    mem = board.memory
+    return {
+        "banking": assign_banks(
+            demands,
+            board=board.name,
+            n_channels=mem.hbm_channels,
+            channel_bytes_per_sec=mem.hbm_channel_bytes_per_sec,
+            channel_bytes=mem.hbm_channel_bytes,
+            demanded_elements_per_sec=elements_per_sec,
+        )
+    }
+
+
 def _run_simulate(state, options):
     functional = (
         _run_functional_batch(state, options)
@@ -370,6 +426,7 @@ def _run_simulate(state, options):
             system,
             options.system.n_elements,
             overlap_transfers=options.system.overlap_transfers,
+            banking=state.get("banking"),
         ),
         "functional": functional,
     }
@@ -495,8 +552,23 @@ register_stage(Stage(
     description="k x m system assembly on the target board (Fig. 7)",
 ))
 register_stage(Stage(
+    name="bank-assign",
+    inputs=("system", "function", "port_classes"),
+    outputs=("banking",),
+    run=_run_bank_assign,
+    params=lambda o: (
+        o.system.memory_model,
+        o.system.n_elements,
+    ),
+    description=(
+        "tensor -> HBM pseudo-channel assignment under per-channel "
+        "bandwidth/capacity constraints (memory_model='hbm'; identity "
+        "under 'bram')"
+    ),
+))
+register_stage(Stage(
     name="simulate",
-    inputs=("system", "poly", "port_classes"),
+    inputs=("system", "poly", "port_classes", "banking"),
     outputs=("sim", "functional"),
     run=_run_simulate,
     params=lambda o: (
@@ -516,7 +588,7 @@ FINAL_STAGE = stage_names()[-1]
 #: the stages whose outputs feed system assembly — everything before
 #: ``build-system``.  A k x m x board sweep re-runs only what follows.
 FRONT_END_STAGES = tuple(stage_names()[: stage_names().index("build-system")])
-SYSTEM_STAGES = ("build-system", "simulate")
+SYSTEM_STAGES = ("build-system", "bank-assign", "simulate")
 
 #: the stages that run per fused *group* when a program compiles under a
 #: fusion plan: everything after ``lower``.  The per-kernel front end

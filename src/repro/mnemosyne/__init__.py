@@ -14,7 +14,9 @@ Modules:
 * :mod:`repro.mnemosyne.sharing` — sharing optimizer (pairwise matching, as
   the paper's tool; clique cover as a more aggressive ablation),
 * :mod:`repro.mnemosyne.config`  — the metadata interface with the compiler
-  (step iv of Fig. 4), JSON-serializable.
+  (step iv of Fig. 4), JSON-serializable,
+* :mod:`repro.mnemosyne.hbm`     — HBM pseudo-channel modeling and tensor ->
+  bank assignment (the Soldavini et al. 2022 sequel flow).
 """
 
 from repro.mnemosyne.bram import (
@@ -27,6 +29,13 @@ from repro.mnemosyne.bram import (
 from repro.mnemosyne.plm import PLMUnit, MemorySubsystem
 from repro.mnemosyne.sharing import build_memory_subsystem, SharingMode
 from repro.mnemosyne.config import MnemosyneConfig, port_class_assignment
+from repro.mnemosyne.hbm import (
+    BankingReport,
+    ChannelAssignment,
+    HbmSpillError,
+    TensorDemand,
+    assign_banks,
+)
 
 __all__ = [
     "BRAM36_BITS",
@@ -40,4 +49,9 @@ __all__ = [
     "SharingMode",
     "MnemosyneConfig",
     "port_class_assignment",
+    "BankingReport",
+    "ChannelAssignment",
+    "HbmSpillError",
+    "TensorDemand",
+    "assign_banks",
 ]

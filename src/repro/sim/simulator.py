@@ -93,7 +93,11 @@ class SimulationResult:
 
 
 def simulate_system(
-    design: SystemDesign, n_elements: int, *, overlap_transfers: bool = False
+    design: SystemDesign,
+    n_elements: int,
+    *,
+    overlap_transfers: bool = False,
+    banking=None,
 ) -> SimulationResult:
     """Analytic end-to-end simulation.
 
@@ -103,19 +107,34 @@ def simulate_system(
     sets while the accelerators work on the other half, so per-round
     transfers hide behind compute.  Requires m >= 2k; with m = k there is
     no idle PLM set and the strategy degenerates to the serial one.
+
+    ``banking`` (a :class:`repro.mnemosyne.hbm.BankingReport`) switches
+    the transfer-time model from the single shared AXI port of
+    :meth:`~repro.system.platform_data.PlatformModel.transfer_cycles` to
+    the banked HBM channels: tensors stream through their assigned
+    pseudo-channels concurrently, so an input or output phase takes as
+    long as its *slowest* tensor, not the sum over all of them.  Compute
+    and control cycles are untouched — banking is a transfer-phase model.
     """
     host = HostModel(n_elements, design.k, design.m)
     p = design.platform
     per_round_compute = design.hls.latency_cycles
     per_round_control = p.control_cycles_per_round(design.k)
-    static = p.transfer_cycles(design.static_bytes)
+    if banking is not None:
+        static = banking.phase_cycles("static", 1, design.clock_hz)
+    else:
+        static = p.transfer_cycles(design.static_bytes)
 
     if overlap_transfers and design.batch >= 2:
         # software-pipelined rounds over k elements each: fill the first
         # k-element group, then each round's transfers overlap the next
         # round's compute; drain the last group's results.
-        in_k = p.transfer_cycles(design.k * design.transfer_bytes_in_per_element)
-        out_k = p.transfer_cycles(design.k * design.transfer_bytes_out_per_element)
+        if banking is not None:
+            in_k = banking.phase_cycles("in", design.k, design.clock_hz)
+            out_k = banking.phase_cycles("out", design.k, design.clock_hz)
+        else:
+            in_k = p.transfer_cycles(design.k * design.transfer_bytes_in_per_element)
+            out_k = p.transfer_cycles(design.k * design.transfer_bytes_out_per_element)
         rounds = host.total_rounds
         busy = per_round_compute + per_round_control
         steady = max(busy, in_k + out_k)
@@ -128,9 +147,14 @@ def simulate_system(
             design.k, design.m, n_elements, design.clock_hz, compute, transfer, control
         )
 
-    in_bytes = design.m * design.transfer_bytes_in_per_element
-    out_bytes = design.m * design.transfer_bytes_out_per_element
-    per_iter_transfer = p.transfer_cycles(in_bytes) + p.transfer_cycles(out_bytes)
+    if banking is not None:
+        per_iter_transfer = banking.phase_cycles(
+            "in", design.m, design.clock_hz
+        ) + banking.phase_cycles("out", design.m, design.clock_hz)
+    else:
+        in_bytes = design.m * design.transfer_bytes_in_per_element
+        out_bytes = design.m * design.transfer_bytes_out_per_element
+        per_iter_transfer = p.transfer_cycles(in_bytes) + p.transfer_cycles(out_bytes)
     transfer = host.main_iterations * per_iter_transfer + static
     compute = host.total_rounds * per_round_compute
     control = host.total_rounds * per_round_control

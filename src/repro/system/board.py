@@ -2,8 +2,51 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, field
 from typing import Dict
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Off-chip memory channels of one board.
+
+    The HBM fields model the pseudo-channel (PC) interface data-center
+    cards expose: the Alveo U280's two HBM2 stacks present 32 independent
+    256 MiB pseudo-channels, each reaching ~14.375 GB/s through its own
+    AXI port (460 GB/s aggregate) — the substrate the sequel papers'
+    bank-assignment flow targets (Soldavini et al. 2022).  Embedded
+    boards have no HBM; their single DDR channel is what the AXI
+    transfer model in :mod:`repro.system.platform_data` was calibrated
+    against, so ``hbm_channels == 0`` keeps that path authoritative.
+    """
+
+    #: independent HBM pseudo-channels (0: no HBM on this board)
+    hbm_channels: int = 0
+    #: peak bandwidth of one pseudo-channel, GB/s
+    hbm_channel_gbytes_per_sec: float = 0.0
+    #: capacity of one pseudo-channel, MiB
+    hbm_channel_mbytes: int = 0
+    #: DDR bandwidth (all channels combined), GB/s
+    ddr_gbytes_per_sec: float = 0.0
+    #: DDR capacity, GiB
+    ddr_gbytes: float = 0.0
+
+    @property
+    def has_hbm(self) -> bool:
+        return self.hbm_channels > 0
+
+    @property
+    def hbm_total_gbytes_per_sec(self) -> float:
+        return self.hbm_channels * self.hbm_channel_gbytes_per_sec
+
+    @property
+    def hbm_channel_bytes(self) -> int:
+        return self.hbm_channel_mbytes * (1 << 20)
+
+    @property
+    def hbm_channel_bytes_per_sec(self) -> float:
+        return self.hbm_channel_gbytes_per_sec * 1e9
 
 
 @dataclass(frozen=True)
@@ -11,7 +54,8 @@ class Board:
     """Resource capacities of one FPGA board.
 
     ``lut``/``ff``/``dsp``/``bram36`` are the programmable-logic totals the
-    paper quotes for the target device.
+    paper quotes for the target device; ``memory`` describes the off-chip
+    memory system (HBM pseudo-channels and/or DDR).
     """
 
     name: str
@@ -23,6 +67,7 @@ class Board:
     cpu: str = ""
     cpu_mhz: float = 0.0
     fabric_mhz: float = 200.0
+    memory: MemorySystem = field(default_factory=MemorySystem)
 
     def utilization(self, lut: int, ff: int, dsp: int, bram: int) -> dict:
         return {
@@ -37,10 +82,33 @@ class Board:
             lut <= self.lut and ff <= self.ff and dsp <= self.dsp and bram <= self.bram36
         )
 
+    # -- cross-process specs -------------------------------------------------
+    def to_spec(self) -> Dict[str, object]:
+        """Primitives-only dict form (nested memory system included)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "Board":
+        """Rebuild from :meth:`to_spec` output.
+
+        Specs written before the memory-system release (durable broker
+        jobs reloaded from disk) lack the ``memory`` key; they restore
+        with the default (no-HBM) description, which is all the BRAM-only
+        flow they were submitted under ever consults.
+        """
+        d = dict(spec)
+        memory = d.pop("memory", None)
+        return cls(
+            memory=MemorySystem(**memory) if memory is not None else MemorySystem(),
+            **d,
+        )
+
 
 #: Xilinx Zynq UltraScale+ MPSoC ZCU106 (xczu7ev-ffvc1156-2): "504K system
 #: logic cells (around 230K LUTs and 460K FFs) and 312 block RAMs", with a
-#: quad-core ARM Cortex-A53 configured at 1.2 GHz (Sec. VI).
+#: quad-core ARM Cortex-A53 configured at 1.2 GHz (Sec. VI).  Off-chip
+#: memory is one 64-bit DDR4-2400 channel (19.2 GB/s peak) shared with
+#: the processing system — no HBM.
 ZCU106 = Board(
     name="ZCU106",
     part="xczu7ev-ffvc1156-2",
@@ -51,9 +119,12 @@ ZCU106 = Board(
     cpu="ARM Cortex-A53",
     cpu_mhz=1_200.0,
     fabric_mhz=200.0,
+    memory=MemorySystem(ddr_gbytes_per_sec=19.2, ddr_gbytes=4.0),
 )
 
-#: A larger data-center card (future-work scaling target, Sec. VIII).
+#: A larger data-center card (future-work scaling target, Sec. VIII):
+#: two HBM2 stacks exposing 32 pseudo-channels of 256 MiB at ~14.375
+#: GB/s each (8 GiB, 460 GB/s aggregate), plus two DDR4-2400 DIMMs.
 ALVEO_U280 = Board(
     name="Alveo U280",
     part="xcu280-fsvh2892-2L",
@@ -64,6 +135,13 @@ ALVEO_U280 = Board(
     cpu="host x86 via PCIe",
     cpu_mhz=0.0,
     fabric_mhz=300.0,
+    memory=MemorySystem(
+        hbm_channels=32,
+        hbm_channel_gbytes_per_sec=14.375,
+        hbm_channel_mbytes=256,
+        ddr_gbytes_per_sec=38.4,
+        ddr_gbytes=32.0,
+    ),
 )
 
 

@@ -26,7 +26,7 @@ class TestRegistry:
         assert stage_names() == [
             "parse", "analyze", "lower", "layouts", "schedule", "reschedule",
             "codegen", "compat", "port-classes", "mnemosyne-config",
-            "memory", "hls-synth", "build-system", "simulate",
+            "memory", "hls-synth", "build-system", "bank-assign", "simulate",
         ]
 
     def test_dataflow_is_closed(self):

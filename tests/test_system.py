@@ -148,3 +148,79 @@ class TestArtifacts:
         res = flow()
         text = res.build_system(16, 16).summary()
         assert "k=16" in text and "BRAM36" in text
+
+
+class TestBoardRegistry:
+    def test_boards_keyed_by_display_name(self):
+        from repro.system.board import boards
+
+        reg = boards()
+        assert "ZCU106" in reg and "Alveo U280" in reg
+        assert reg["ZCU106"] is ZCU106
+
+    def test_lookup_by_name_case_and_punctuation(self):
+        from repro.system.board import ALVEO_U280, get_board
+
+        for alias in ("Alveo U280", "alveo u280", "ALVEO-U280", "alveou280",
+                      "Alveo_U280"):
+            assert get_board(alias) is ALVEO_U280
+        for alias in ("ZCU106", "zcu106", "zcu-106", "Zcu 106"):
+            assert get_board(alias) is ZCU106
+
+    def test_lookup_by_part_number_and_short_alias(self):
+        from repro.system.board import ALVEO_U280, get_board
+
+        assert get_board("xczu7ev-ffvc1156-2") is ZCU106
+        assert get_board("XCZU7EV-FFVC1156-2") is ZCU106
+        assert get_board("xcu280-fsvh2892-2L") is ALVEO_U280
+        assert get_board("u280") is ALVEO_U280
+        assert get_board("U280") is ALVEO_U280
+
+    def test_unknown_board_error_names_known_boards(self):
+        from repro.system.board import get_board
+
+        with pytest.raises(SystemGenerationError) as exc:
+            get_board("vcu118")
+        msg = str(exc.value)
+        assert "vcu118" in msg
+        assert "ZCU106" in msg and "Alveo U280" in msg
+
+    def test_boards_are_immutable(self):
+        import dataclasses
+
+        from repro.system.board import ALVEO_U280
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ZCU106.lut = 0
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ALVEO_U280.memory.hbm_channels = 64
+
+    def test_memory_system_descriptions(self):
+        from repro.system.board import ALVEO_U280
+
+        assert not ZCU106.memory.has_hbm
+        assert ZCU106.memory.ddr_gbytes_per_sec == 19.2
+        mem = ALVEO_U280.memory
+        assert mem.has_hbm
+        assert mem.hbm_channels == 32
+        assert mem.hbm_total_gbytes_per_sec == pytest.approx(460.0)
+        assert mem.hbm_channel_bytes == 256 << 20
+        assert mem.hbm_channel_bytes_per_sec == pytest.approx(14.375e9)
+
+    def test_board_spec_round_trip(self):
+        from repro.system.board import ALVEO_U280, Board
+
+        for board in (ZCU106, ALVEO_U280):
+            assert Board.from_spec(board.to_spec()) == board
+
+    def test_board_spec_without_memory_key_restores_default(self):
+        # durable broker jobs written before the memory-system release
+        # carry Board specs with no "memory" entry
+        from repro.system.board import Board
+
+        spec = ZCU106.to_spec()
+        spec.pop("memory")
+        restored = Board.from_spec(spec)
+        assert restored.lut == ZCU106.lut
+        assert not restored.memory.has_hbm
+        assert restored.memory.ddr_gbytes_per_sec == 0.0
